@@ -1,0 +1,323 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation section. Each
+// bench regenerates the figure from scratch and reports the figure's
+// headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// doubles as the reproduction's results table.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/rf"
+)
+
+// lastFloat pulls a float out of a table cell, for reporting headline
+// metrics from the regenerated figure.
+func lastFloat(b *testing.B, t experiments.Table, row, col int) float64 {
+	b.Helper()
+	if row < 0 {
+		row += len(t.Rows)
+	}
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkFig2IntersectedAreaVsK(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig2(1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// CA at k=10, the paper's reference operating point.
+	b.ReportMetric(lastFloat(b, t, 9, 1), "CA@k=10")
+}
+
+func BenchmarkFig3AreaVsRadius(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig3(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, -1, 2), "CA@r=3")
+}
+
+func BenchmarkFig4BiasedCentroid(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig4(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, -1, 1), "centroid_err_m")
+	b.ReportMetric(lastFloat(b, t, -1, 2), "mloc_err_m")
+}
+
+func BenchmarkFig5AreaVsEstimatedR(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig5(1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, -1, 1), "CA@R=3r")
+}
+
+func BenchmarkFig6CoverageProb(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig6(20000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, 2, 1), "p@R=0.9r")
+}
+
+func BenchmarkFig8ChannelDistribution(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig8(1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, -1, 2)*100, "pct_1_6_11")
+}
+
+func BenchmarkFig9ChannelLeakage(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig9(200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Recognition on the on-channel card (row for channel 11) and the
+	// adjacent channel 10.
+	b.ReportMetric(lastFloat(b, t, 10, 2), "frac_ch11")
+	b.ReportMetric(lastFloat(b, t, 9, 2), "frac_ch10")
+}
+
+func BenchmarkFig10ProbingMobiles(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Figs10And11(150, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Highest daily probing percentage (paper peaks at 91.61%).
+	peak := 0.0
+	for r := range t.Rows {
+		if v := lastFloat(b, t, r, 4); v > peak {
+			peak = v
+		}
+	}
+	b.ReportMetric(peak, "peak_pct_probing")
+}
+
+func BenchmarkFig12CoverageRadius(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Urban coverage radius of the full LNA chain (paper: ~1000 m).
+	b.ReportMetric(lastFloat(b, t, 3, 2), "lna_urban_m")
+}
+
+// campusBench shares one campus run across the Figs 13-17 benches within a
+// single bench invocation.
+func campusBench(b *testing.B, fig func(*experiments.CampusRun) (experiments.Table, error)) experiments.Table {
+	b.Helper()
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunCampus(experiments.CampusConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t, err = fig(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+func BenchmarkFig13ErrorHistogram(b *testing.B) {
+	t := campusBench(b, experiments.Fig13)
+	b.ReportMetric(lastFloat(b, t, -1, 1), "mloc_mean_m")
+	b.ReportMetric(lastFloat(b, t, -1, 2), "aprad_mean_m")
+	b.ReportMetric(lastFloat(b, t, -1, 3), "centroid_mean_m")
+}
+
+func BenchmarkFig14ErrorVsK(b *testing.B) {
+	t := campusBench(b, experiments.Fig14)
+	b.ReportMetric(lastFloat(b, t, 0, 1), "mloc@min_k")
+	b.ReportMetric(lastFloat(b, t, -1, 1), "mloc@max_k")
+}
+
+func BenchmarkFig15AreaVsK(b *testing.B) {
+	t := campusBench(b, experiments.Fig15)
+	b.ReportMetric(lastFloat(b, t, 0, 1), "mloc_area_m2")
+	b.ReportMetric(lastFloat(b, t, 0, 2), "aprad_area_m2")
+}
+
+func BenchmarkFig16CoverageVsK(b *testing.B) {
+	t := campusBench(b, experiments.Fig16)
+	b.ReportMetric(lastFloat(b, t, 0, 1), "mloc_cov")
+	b.ReportMetric(lastFloat(b, t, 0, 2), "aprad_cov")
+}
+
+func BenchmarkFig17APLocTraining(b *testing.B) {
+	t := campusBench(b, experiments.Fig17)
+	// Error at 19 training tuples — the paper's headline (12.21 m).
+	for r, row := range t.Rows {
+		if row[0] == "19" {
+			b.ReportMetric(lastFloat(b, t, r, 1), "aploc@19tuples_m")
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, -1, 1), "aploc@max_tuples_m")
+}
+
+func BenchmarkThm1LinkBudget(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		for _, chain := range rf.Fig12Chains() {
+			r = rf.CoverageRadius(rf.TypicalMobile, chain)
+		}
+	}
+	b.ReportMetric(r, "lna_freespace_m")
+}
+
+// Ablation: the paper's 3-card channel plan versus the 11-card plan and
+// the debunked {3,6,9} folk plan — fraction of a campus's APs whose
+// channel each plan can decode.
+func BenchmarkAblationChannelPlans(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationChannelPlans(1000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r, row := range t.Rows {
+		b.ReportMetric(lastFloat(b, t, r, 2)*100, "pct_"+row[0])
+	}
+}
+
+// Ablation: M-Loc's vertex centroid versus the Monte-Carlo region-area
+// centroid — accuracy and cost of the paper's estimator choice.
+func BenchmarkAblationCentroidEstimators(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationCentroidEstimators(300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, 0, 1), "vertex_err_m")
+	b.ReportMetric(lastFloat(b, t, 1, 1), "area_err_m")
+}
+
+// Ablation: AP-Rad's LP radius estimation versus fixed upper-bound and
+// fixed lower-bound radii (Theorem 3's two failure modes).
+func BenchmarkAblationRadiusEstimators(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationRadiusEstimators(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r, row := range t.Rows {
+		b.ReportMetric(lastFloat(b, t, r, 1), row[0]+"_err_m")
+	}
+}
+
+// Extension: countermeasure evaluation (the camouflaging protocols the
+// paper's conclusion calls for).
+func BenchmarkExtensionDefenses(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.DefenseEvaluation(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r, row := range t.Rows {
+		b.ReportMetric(lastFloat(b, t, r, 1), "fixes_"+row[0])
+	}
+}
+
+// Extension: set-only attack vs the RSS self-positioning baselines from
+// the paper's related-work taxonomy.
+func BenchmarkExtensionPositioningComparison(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.PositioningComparison(150, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r, row := range t.Rows {
+		b.ReportMetric(lastFloat(b, t, r, 1), row[0]+"_err_m")
+	}
+}
+
+// Extension: coverage scaling with a fleet of sniffer sites.
+func BenchmarkExtensionFleetCoverage(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.FleetCoverage(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lastFloat(b, t, 0, 1), "observed_1site")
+	b.ReportMetric(lastFloat(b, t, 1, 1), "observed_2sites")
+}
+
+// Ablation: the spherical worst-case model vs obstructed/derated reality
+// (DESIGN.md §5's propagation-model ablation).
+func BenchmarkAblationPropagation(b *testing.B) {
+	var t experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.AblationPropagation(300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for r, row := range t.Rows {
+		b.ReportMetric(lastFloat(b, t, r, 2), "coverage_"+row[0])
+	}
+}

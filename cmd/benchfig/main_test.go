@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSingleAnalyticalFig(t *testing.T) {
+	if err := run([]string{"-fig", "5", "-trials", "100"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSystemFig(t *testing.T) {
+	if err := run([]string{"-fig", "12", "-csv"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if err := run([]string{"-fig", "7"}, os.Stdout); err == nil {
+		t.Fatal("want error: the paper has no figure 7 to regenerate")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

@@ -1,0 +1,294 @@
+// Command marauder runs the full digital Marauder's map attack end to end
+// on a simulated campus: deploy APs, walk a victim device around, capture
+// its probing traffic with the LNA receiver chain, localize it continuously
+// with the selected algorithm, and serve the live map on an HTTP port.
+//
+// Usage:
+//
+//	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid] [-seed 1]
+//	         [-aps 300] [-speedup 50] [-once]
+//
+// With -once the attack runs a single pass and prints per-fix accuracy
+// instead of serving the map.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/mapserver"
+	"repro/internal/obs"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+	"repro/internal/wardrive"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "marauder:", err)
+		os.Exit(1)
+	}
+}
+
+type attack struct {
+	world   *sim.World
+	victim  *sim.Device
+	route   *sim.RouteWalk
+	store   *obs.Store
+	tracker *core.Tracker
+	sniffer *sniffer.Sniffer
+	know    core.Knowledge
+	// baseKnow holds the AP positions radius re-estimation starts from:
+	// true positions in aprad mode, wardrive-trained ones in aploc mode.
+	baseKnow core.Knowledge
+}
+
+func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
+	w := sim.NewWorld(seed)
+	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
+		N:        nAPs,
+		Min:      geom.Pt(-350, -350),
+		Max:      geom.Pt(350, 350),
+		RangeMin: 70,
+		RangeMax: 130,
+	}, w.RNG())
+	if err != nil {
+		return nil, err
+	}
+	w.APs = aps
+
+	var waypoints []geom.Point
+	row := 0
+	for y := -250.0; y <= 250; y += 125 {
+		if row%2 == 0 {
+			waypoints = append(waypoints, geom.Pt(-250, y), geom.Pt(250, y))
+		} else {
+			waypoints = append(waypoints, geom.Pt(250, y), geom.Pt(-250, y))
+		}
+		row++
+	}
+	route := sim.NewRouteWalk(waypoints, 1.5)
+	victim := &sim.Device{
+		MAC:      sim.NewMAC(0xDD, 1),
+		Mobility: route,
+		TX:       rf.TypicalMobile,
+	}
+	w.AddDevice(victim)
+
+	know := make(core.Knowledge, len(aps))
+	for _, ap := range aps {
+		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+	}
+
+	var locate core.Locator
+	switch algo {
+	case "mloc", "", "aprad", "aploc":
+		locate = nil // tracker default (M-Loc over the active knowledge)
+	case "centroid":
+		locate = core.CentroidBaseline
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	store := obs.NewStore()
+	a := &attack{
+		world:  w,
+		victim: victim,
+		route:  route,
+		store:  store,
+		know:   know,
+		sniffer: sniffer.New(sniffer.Config{
+			Pos:   geom.Pt(0, 0),
+			Chain: rf.ChainLNA(),
+			Plan:  dot11.DefaultPlan(),
+		}),
+		tracker: &core.Tracker{
+			Know:      know,
+			Store:     store,
+			WindowSec: 45,
+			Locate:    locate,
+		},
+	}
+	switch algo {
+	case "aprad":
+		// Radii withheld: true AP positions, radii estimated from
+		// observations (see refreshRadii).
+		a.baseKnow = make(core.Knowledge, len(know))
+		for m, in := range know {
+			in.MaxRange = 0
+			a.baseKnow[m] = in
+		}
+		a.tracker.Know = nil // filled by refreshRadii
+	case "aploc":
+		// Nothing known: wardrive the campus first, estimate AP positions
+		// from the training tuples, then estimate radii from observations.
+		var waypoints []geom.Point
+		row := 0
+		for y := -300.0; y <= 300; y += 100 {
+			if row%2 == 0 {
+				waypoints = append(waypoints, geom.Pt(-300, y), geom.Pt(300, y))
+			} else {
+				waypoints = append(waypoints, geom.Pt(300, y), geom.Pt(-300, y))
+			}
+			row++
+		}
+		for x := -300.0; x <= 300; x += 100 {
+			if row%2 == 0 {
+				waypoints = append(waypoints, geom.Pt(x, 300), geom.Pt(x, -300))
+			} else {
+				waypoints = append(waypoints, geom.Pt(x, -300), geom.Pt(x, 300))
+			}
+			row++
+		}
+		drive := sim.NewRouteWalk(waypoints, 10)
+		tuples := wardrive.Collector{World: w}.CollectAlong(drive, 6)
+		trained, err := core.EstimateAPLocations(tuples, core.APLocConfig{TrainingRadius: 130})
+		if err != nil {
+			return nil, fmt.Errorf("aploc training: %w", err)
+		}
+		a.baseKnow = trained
+		a.tracker.Know = nil // filled by refreshRadii
+	}
+	return a, nil
+}
+
+// captureUpTo simulates and captures the victim's probing traffic in
+// [from, to) seconds of route time.
+func (a *attack) captureUpTo(from, to float64) {
+	seq := uint16(from/30) + 1
+	for t := from; t < to; t += 30 {
+		pos := a.victim.PosAt(t)
+		for _, ev := range sim.ScanBurst(a.world, a.victim, t, pos, seq) {
+			if c, ok := a.sniffer.TryCapture(ev); ok {
+				a.store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+			}
+		}
+		seq++
+	}
+}
+
+// refreshRadii re-estimates AP radii from everything observed so far,
+// starting from the mode's base knowledge (true positions for aprad,
+// wardrive-trained positions for aploc).
+func (a *attack) refreshRadii() error {
+	est, _, err := core.EstimateRadii(a.baseKnow, a.store.DeviceAPSets(),
+		core.APRadConfig{MaxRadius: 160, MaxNeighborConstraints: 12})
+	if err != nil {
+		return err
+	}
+	a.tracker.Know = est
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("marauder", flag.ContinueOnError)
+	addr := fs.String("addr", ":8642", "HTTP listen address for the map")
+	algo := fs.String("algo", "mloc", "localization algorithm: mloc, aprad, aploc or centroid")
+	seed := fs.Int64("seed", 1, "random seed")
+	nAPs := fs.Int("aps", 300, "number of deployed APs")
+	speedup := fs.Float64("speedup", 50, "simulated seconds per wall second")
+	once := fs.Bool("once", false, "run one pass and print accuracy instead of serving")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	a, err := buildAttack(*seed, *nAPs, *algo)
+	if err != nil {
+		return err
+	}
+
+	if *once {
+		return runOnce(a, *algo)
+	}
+	return serve(a, *algo, *addr, *speedup)
+}
+
+func runOnce(a *attack, algo string) error {
+	total := a.route.TotalDuration()
+	a.captureUpTo(0, total)
+	if algo == "aprad" || algo == "aploc" {
+		if err := a.refreshRadii(); err != nil {
+			return err
+		}
+	}
+	points, err := a.tracker.Track(a.victim.MAC, 0, total, 60)
+	if err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return errors.New("no fixes produced")
+	}
+	var sum float64
+	for _, p := range points {
+		truth := a.route.PosAt(p.TimeSec)
+		e := core.Error(p.Est, truth)
+		sum += e
+		fmt.Printf("t=%6.0fs k=%2d est=%v truth=%v err=%.1fm\n",
+			p.TimeSec, p.Est.K, p.Est.Pos, truth, e)
+	}
+	fmt.Printf("fixes=%d average error=%.2fm algorithm=%s\n",
+		len(points), sum/float64(len(points)), algo)
+	return nil
+}
+
+func serve(a *attack, algo, addr string, speedup float64) error {
+	state := mapserver.NewState()
+	state.APsFromKnowledge(a.know)
+
+	srv := &http.Server{Addr: addr, Handler: mapserver.Handler(state)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("the Marauder's map is live at http://localhost%s (algorithm %s)\n", addr, algo)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	total := a.route.TotalDuration()
+	simTime := 0.0
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			return srv.Shutdown(shutdownCtx)
+		case err := <-errCh:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		case <-ticker.C:
+			next := simTime + speedup/2
+			if next > total {
+				next = total
+			}
+			a.captureUpTo(simTime, next)
+			simTime = next
+			if algo == "aprad" || algo == "aploc" {
+				if err := a.refreshRadii(); err != nil {
+					continue // not enough data yet
+				}
+			}
+			if est, err := a.tracker.Fix(a.victim.MAC, simTime-22); err == nil {
+				truth := a.route.PosAt(simTime - 22)
+				state.UpdateDevice(a.victim.MAC, est, &truth)
+			}
+			if simTime >= total {
+				simTime = 0 // loop the walk
+				a.store = obs.NewStore()
+				a.tracker.Store = a.store
+			}
+		}
+	}
+}

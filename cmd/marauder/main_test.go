@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildAttackAlgorithms(t *testing.T) {
+	for _, algo := range []string{"mloc", "centroid", "aprad"} {
+		a, err := buildAttack(1, 120, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(a.world.APs) != 120 {
+			t.Fatalf("%s: aps = %d", algo, len(a.world.APs))
+		}
+	}
+	if _, err := buildAttack(1, 120, "nope"); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+}
+
+func TestRunOnceMLoc(t *testing.T) {
+	a, err := buildAttack(3, 150, "mloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runOnce(a, "mloc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnceAPRad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AP-Rad LP run")
+	}
+	a, err := buildAttack(3, 150, "aprad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runOnce(a, "aprad"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("want flag error")
+	}
+	if err := run([]string{"-algo", "nope", "-once"}); err == nil {
+		t.Fatal("want algorithm error")
+	}
+}
+
+func TestCaptureAccumulates(t *testing.T) {
+	a, err := buildAttack(5, 150, "mloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.captureUpTo(0, 120)
+	n := a.store.Len()
+	if n == 0 {
+		t.Fatal("no observations after capture")
+	}
+	a.captureUpTo(120, 240)
+	if a.store.Len() <= n {
+		t.Fatal("second capture window added nothing")
+	}
+}
+
+func TestRunOnceAPLoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wardrive + AP-Rad LP run")
+	}
+	a, err := buildAttack(3, 150, "aploc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.baseKnow) < 50 {
+		t.Fatalf("training located only %d APs", len(a.baseKnow))
+	}
+	if err := runOnce(a, "aploc"); err != nil {
+		t.Fatal(err)
+	}
+}

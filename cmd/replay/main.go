@@ -1,0 +1,201 @@
+// Command replay re-runs the localization attack from persisted inputs: a
+// pcap capture file (as the sniffer writes, bare 802.11 or radiotap) and a
+// WiGLE-style AP database CSV. It rebuilds the observation store from the
+// capture, localizes every observed device, and prints the resulting map —
+// the attack pipeline decoupled from the simulator.
+//
+// Usage:
+//
+//	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid]
+//	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json]
+//
+// With -demo it first generates a demo capture+database pair into the
+// given paths, then replays them (useful without prior artifacts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apdb"
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+)
+
+var captureEpoch = time.Date(2008, 10, 24, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	pcapPath := fs.String("pcap", "", "pcap capture to replay (required)")
+	apsPath := fs.String("aps", "", "AP database CSV (required)")
+	algo := fs.String("algo", "mloc", "localization algorithm: mloc or centroid")
+	originLat := fs.Float64("origin-lat", 42.6555, "local-plane origin latitude")
+	originLon := fs.Float64("origin-lon", -71.3254, "local-plane origin longitude")
+	obsOut := fs.String("obs", "", "also save the rebuilt observation store as JSON here")
+	demo := fs.Bool("demo", false, "generate a demo capture and AP database first")
+	fallback := fs.Float64("fallback-range", 160, "disc radius for APs with unknown range")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pcapPath == "" || *apsPath == "" {
+		return fmt.Errorf("both -pcap and -aps are required")
+	}
+	proj := geo.NewProjection(geo.LatLon{Lat: *originLat, Lon: *originLon})
+
+	if *demo {
+		if err := generateDemo(*pcapPath, *apsPath, proj); err != nil {
+			return fmt.Errorf("generate demo: %w", err)
+		}
+		fmt.Printf("demo artifacts written to %s and %s\n", *pcapPath, *apsPath)
+	}
+
+	apsFile, err := os.Open(*apsPath)
+	if err != nil {
+		return err
+	}
+	defer apsFile.Close()
+	db, err := apdb.ImportCSV(apsFile, proj)
+	if err != nil {
+		return err
+	}
+
+	capFile, err := os.Open(*pcapPath)
+	if err != nil {
+		return err
+	}
+	defer capFile.Close()
+	caps, err := sniffer.ReadPcap(capFile, captureEpoch)
+	if err != nil {
+		return err
+	}
+
+	store := obs.NewStore()
+	for _, c := range caps {
+		// Replay cannot know the capture-side FromAP attribution; trust
+		// beacons whose source appears in the AP database.
+		fromAP := false
+		if _, ok := db.Get(c.Frame.Addr2); ok {
+			fromAP = true
+		}
+		store.Ingest(c.TimeSec, c.Frame, fromAP)
+	}
+	fmt.Printf("replayed %d frames: %d devices (%d probing), %d APs observed\n",
+		len(caps), len(store.Devices()), len(store.ProbingDevices()), len(store.APs()))
+
+	know := make(core.Knowledge, db.Len())
+	for _, e := range db.All() {
+		r := e.MaxRange
+		if r <= 0 {
+			r = *fallback
+		}
+		know[e.BSSID] = core.APInfo{BSSID: e.BSSID, Pos: e.Pos, MaxRange: r}
+	}
+
+	var locate core.Locator
+	switch *algo {
+	case "mloc":
+		locate = core.MLoc
+	case "centroid":
+		locate = core.CentroidBaseline
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	located := 0
+	for dev, gamma := range store.DeviceAPSets() {
+		est, err := locate(know, gamma)
+		if err != nil {
+			fmt.Printf("%v  k=%-2d  %v\n", dev, len(gamma), err)
+			continue
+		}
+		ll := proj.ToLatLon(est.Pos)
+		fmt.Printf("%v  k=%-2d  plane=%v  geo=%s  (%s)\n",
+			dev, est.K, est.Pos, ll, est.Method)
+		located++
+	}
+	fmt.Printf("located %d devices\n", located)
+
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			return err
+		}
+		if err := store.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("observation store saved to %s\n", *obsOut)
+	}
+	return nil
+}
+
+// generateDemo simulates a short attack and persists its capture and AP
+// database, so replay has something to chew on out of the box.
+func generateDemo(pcapPath, apsPath string, proj *geo.Projection) error {
+	w := sim.NewWorld(11)
+	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
+		N:        150,
+		Min:      geom.Pt(-300, -300),
+		Max:      geom.Pt(300, 300),
+		RangeMin: 70,
+		RangeMax: 130,
+	}, w.RNG())
+	if err != nil {
+		return err
+	}
+	w.APs = aps
+	dev := &sim.Device{
+		MAC:      sim.NewMAC(0xDD, 1),
+		Mobility: sim.NewRouteWalk([]geom.Point{geom.Pt(-250, -100), geom.Pt(250, 120)}, 1.5),
+		TX:       rf.TypicalMobile,
+	}
+	w.AddDevice(dev)
+	events := sim.WalkTrace(w, dev, 360, 30)
+	sn := sniffer.New(sniffer.Config{
+		Pos:   geom.Pt(0, 0),
+		Chain: rf.ChainLNA(),
+		Plan:  dot11.DefaultPlan(),
+	})
+	caps := sn.CaptureAll(events)
+
+	pf, err := os.Create(pcapPath)
+	if err != nil {
+		return err
+	}
+	if err := sn.WritePcapRadiotap(pf, captureEpoch, caps); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+
+	db := apdb.FromWorld(w, true)
+	af, err := os.Create(apsPath)
+	if err != nil {
+		return err
+	}
+	if err := db.ExportCSV(af, proj); err != nil {
+		af.Close()
+		return err
+	}
+	return af.Close()
+}

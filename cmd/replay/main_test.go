@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDemoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pcapPath := filepath.Join(dir, "cap.pcap")
+	apsPath := filepath.Join(dir, "aps.csv")
+	obsPath := filepath.Join(dir, "obs.json")
+	err := run([]string{
+		"-demo", "-pcap", pcapPath, "-aps", apsPath, "-obs", obsPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{pcapPath, apsPath, obsPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Replaying the same artifacts without -demo also works.
+	if err := run([]string{"-pcap", pcapPath, "-aps", apsPath, "-algo", "centroid"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("want error for missing flags")
+	}
+	if err := run([]string{"-pcap", "x", "-aps", "y", "-algo", "nope"}); err == nil {
+		t.Error("want error for missing files")
+	}
+	if err := run([]string{"-bad"}); err == nil {
+		t.Error("want flag error")
+	}
+}

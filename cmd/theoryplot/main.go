@@ -1,0 +1,64 @@
+// Command theoryplot regenerates the paper's analytical figures (Figs 2, 3,
+// 5, 6) as text tables or CSV.
+//
+// Usage:
+//
+//	theoryplot [-fig 2|3|4|5|6|all] [-csv] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "theoryplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("theoryplot", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6 or all")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	trials := fs.Int("trials", 3000, "Monte-Carlo trials for cross-checks")
+	seed := fs.Int64("seed", 1, "random seed")
+	rho := fs.Float64("rho", 5, "AP density for figure 3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	gens := map[string]func() (experiments.Table, error){
+		"2": func() (experiments.Table, error) { return experiments.Fig2(*trials, *seed) },
+		"3": func() (experiments.Table, error) { return experiments.Fig3(*rho) },
+		"4": func() (experiments.Table, error) { return experiments.Fig4(*seed) },
+		"5": func() (experiments.Table, error) { return experiments.Fig5(*trials, *seed) },
+		"6": func() (experiments.Table, error) { return experiments.Fig6(*trials*20, *seed) },
+	}
+	order := []string{"2", "3", "4", "5", "6"}
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		if _, ok := gens[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		selected = []string{*fig}
+	}
+	for _, id := range selected {
+		t, err := gens[id]()
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleFig(t *testing.T) {
+	if err := run([]string{"-fig", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-fig", "6", "-csv", "-trials", "50"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("want error for unknown figure")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsAndExports(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "aps.csv")
+	if err := run([]string{"-aps", "120", "-interval", "8", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "bssid,ssid,lat,lon,range_m") {
+		t.Errorf("csv header missing:\n%.100s", content)
+	}
+	if strings.Count(content, "\n") < 50 {
+		t.Errorf("too few exported rows")
+	}
+}
+
+func TestRunNoExport(t *testing.T) {
+	if err := run([]string{"-aps", "100", "-interval", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-x"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

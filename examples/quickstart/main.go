@@ -1,0 +1,55 @@
+// Quickstart: locate one mobile device with M-Loc from a hand-built AP
+// knowledge base — the smallest possible use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+func main() {
+	// The attacker knows four APs (from WiGLE or a wardrive): position in
+	// a local metre grid and maximum transmission distance.
+	mustMAC := func(s string) dot11.MAC {
+		m, err := dot11.ParseMAC(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	know := core.NewKnowledge([]core.APInfo{
+		{BSSID: mustMAC("00:1b:2f:00:00:01"), Pos: geom.Pt(0, 0), MaxRange: 120},
+		{BSSID: mustMAC("00:1b:2f:00:00:02"), Pos: geom.Pt(150, 40), MaxRange: 110},
+		{BSSID: mustMAC("00:1b:2f:00:00:03"), Pos: geom.Pt(60, 160), MaxRange: 130},
+		{BSSID: mustMAC("00:1b:2f:00:00:04"), Pos: geom.Pt(-40, 90), MaxRange: 100},
+	})
+
+	// The sniffer observed the victim exchanging probe traffic with three
+	// of them (its communicable set Γ).
+	gamma := []dot11.MAC{
+		mustMAC("00:1b:2f:00:00:01"),
+		mustMAC("00:1b:2f:00:00:02"),
+		mustMAC("00:1b:2f:00:00:03"),
+	}
+
+	est, err := core.MLoc(know, gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("M-Loc estimate: %v from k=%d APs (%d region vertices)\n",
+		est.Pos, est.K, len(est.Vertices))
+	fmt.Printf("intersected area: %.1f m²\n", core.RegionArea(know, gamma))
+
+	// Compare with the Centroid baseline the paper evaluates against.
+	cent, err := core.CentroidBaseline(know, gamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Centroid baseline: %v\n", cent.Pos)
+}

@@ -1,0 +1,190 @@
+// Package apdb is the AP knowledge base of the digital Marauder's map —
+// the role WiGLE plays in the paper: a database of known access points with
+// SSID, BSSID and location, and (when measured) maximum transmission
+// distance. It supports CSV import/export in a WiGLE-like schema and
+// simple spatial queries.
+package apdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/dot11"
+	"repro/internal/geo"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Entry is one known access point.
+type Entry struct {
+	BSSID dot11.MAC `json:"bssid"`
+	SSID  string    `json:"ssid"`
+	// Pos is the AP location in the attack's local plane (metres).
+	Pos geom.Point `json:"pos"`
+	// MaxRange is the measured maximum transmission distance in metres;
+	// 0 means unknown (the WiGLE case — location only).
+	MaxRange float64 `json:"maxRange"`
+}
+
+// Disc returns the AP's coverage disc with the given fallback radius when
+// the entry's own range is unknown.
+func (e Entry) Disc(fallbackRange float64) geom.Circle {
+	r := e.MaxRange
+	if r <= 0 {
+		r = fallbackRange
+	}
+	return geom.Circle{C: e.Pos, R: r}
+}
+
+// DB is a thread-safe AP database.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[dot11.MAC]Entry
+}
+
+// New creates an empty DB.
+func New() *DB {
+	return &DB{entries: make(map[dot11.MAC]Entry)}
+}
+
+// Add inserts or replaces an entry.
+func (db *DB) Add(e Entry) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[e.BSSID] = e
+}
+
+// Get returns the entry for a BSSID.
+func (db *DB) Get(bssid dot11.MAC) (Entry, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.entries[bssid]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// All returns every entry sorted by BSSID.
+func (db *DB) All() []Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Entry, 0, len(db.entries))
+	for _, e := range db.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].BSSID, out[j].BSSID
+		for k := 0; k < 6; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Within returns the entries within dist metres of p.
+func (db *DB) Within(p geom.Point, dist float64) []Entry {
+	var out []Entry
+	for _, e := range db.All() {
+		if e.Pos.Dist(p) <= dist {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FromWorld snapshots a simulated world's APs as external knowledge:
+// includeRange=true models the paper's M-Loc setting (locations and
+// measured radii known), false the AP-Rad setting (WiGLE locations only).
+func FromWorld(w *sim.World, includeRange bool) *DB {
+	db := New()
+	for _, ap := range w.APs {
+		e := Entry{BSSID: ap.MAC, SSID: ap.SSID, Pos: ap.Pos}
+		if includeRange {
+			e.MaxRange = ap.MaxRange
+		}
+		db.Add(e)
+	}
+	return db
+}
+
+// csvHeader is the WiGLE-like export schema.
+var csvHeader = []string{"bssid", "ssid", "lat", "lon", "range_m"}
+
+// ExportCSV writes the database as CSV with geodetic coordinates derived
+// from the projection.
+func (db *DB) ExportCSV(w io.Writer, proj *geo.Projection) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("apdb: write header: %w", err)
+	}
+	for _, e := range db.All() {
+		ll := proj.ToLatLon(e.Pos)
+		rec := []string{
+			e.BSSID.String(),
+			e.SSID,
+			strconv.FormatFloat(ll.Lat, 'f', 6, 64),
+			strconv.FormatFloat(ll.Lon, 'f', 6, 64),
+			strconv.FormatFloat(e.MaxRange, 'f', 1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("apdb: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV reads a CSV in the ExportCSV schema, projecting coordinates to
+// the local plane.
+func ImportCSV(r io.Reader, proj *geo.Projection) (*DB, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("apdb: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("apdb: empty csv")
+	}
+	db := New()
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("apdb: row %d has %d fields, want %d",
+				i+2, len(row), len(csvHeader))
+		}
+		bssid, err := dot11.ParseMAC(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("apdb: row %d: %w", i+2, err)
+		}
+		lat, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("apdb: row %d lat: %w", i+2, err)
+		}
+		lon, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("apdb: row %d lon: %w", i+2, err)
+		}
+		rng, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("apdb: row %d range: %w", i+2, err)
+		}
+		db.Add(Entry{
+			BSSID:    bssid,
+			SSID:     row[1],
+			Pos:      proj.ToPlane(geo.LatLon{Lat: lat, Lon: lon}),
+			MaxRange: rng,
+		})
+	}
+	return db, nil
+}

@@ -1,0 +1,120 @@
+package apdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randomDB(n int, seed int64) (*DB, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	db := New()
+	for i := 0; i < n; i++ {
+		db.Add(Entry{
+			BSSID: mac(byte(i)),
+			Pos:   geom.Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000),
+		})
+	}
+	return db, rng
+}
+
+func TestGridIndexMatchesLinearScan(t *testing.T) {
+	db, rng := randomDB(200, 1)
+	idx := NewGridIndex(db, 150)
+	if idx.Len() != 200 {
+		t.Fatalf("indexed %d", idx.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Pt(rng.Float64()*2200-1100, rng.Float64()*2200-1100)
+		dist := rng.Float64() * 500
+		want := db.Within(p, dist)
+		got := idx.Within(p, dist)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: grid %d vs linear %d entries", trial, len(got), len(want))
+		}
+		wantSet := make(map[string]bool, len(want))
+		for _, e := range want {
+			wantSet[e.BSSID.String()] = true
+		}
+		for _, e := range got {
+			if !wantSet[e.BSSID.String()] {
+				t.Fatalf("trial %d: grid returned %v not in linear result", trial, e.BSSID)
+			}
+		}
+	}
+}
+
+func TestGridIndexWithinEdgeCases(t *testing.T) {
+	db, _ := randomDB(10, 2)
+	idx := NewGridIndex(db, 0) // invalid cell size falls back to default
+	if got := idx.Within(geom.Pt(0, 0), -1); got != nil {
+		t.Error("negative radius should return nothing")
+	}
+	if got := idx.Within(geom.Pt(1e7, 1e7), 10); len(got) != 0 {
+		t.Error("far query should be empty")
+	}
+}
+
+func TestGridIndexNearest(t *testing.T) {
+	empty := NewGridIndex(New(), 100)
+	if _, ok := empty.Nearest(geom.Pt(0, 0)); ok {
+		t.Error("empty index should report !ok")
+	}
+	db, rng := randomDB(150, 3)
+	idx := NewGridIndex(db, 120)
+	f := func(seed int64) bool {
+		p := geom.Pt(rng.Float64()*2400-1200, rng.Float64()*2400-1200)
+		got, ok := idx.Nearest(p)
+		if !ok {
+			return false
+		}
+		// Compare against linear scan.
+		best := math.Inf(1)
+		var want Entry
+		for _, e := range db.All() {
+			if d := e.Pos.Dist(p); d < best {
+				best = d
+				want = e
+			}
+		}
+		return got.BSSID == want.BSSID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridIndexGet(t *testing.T) {
+	db, _ := randomDB(20, 4)
+	idx := NewGridIndex(db, 100)
+	want, _ := db.Get(mac(7))
+	got, ok := idx.Get(mac(7))
+	if !ok || got != want {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+	if _, ok := idx.Get(mac(200)); ok {
+		t.Error("missing entry found")
+	}
+}
+
+func BenchmarkWithinLinear(b *testing.B) {
+	db, _ := randomDB(255, 5)
+	p := geom.Pt(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Within(p, 150)
+	}
+}
+
+func BenchmarkWithinGrid(b *testing.B) {
+	db, _ := randomDB(255, 5)
+	idx := NewGridIndex(db, 150)
+	p := geom.Pt(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Within(p, 150)
+	}
+}

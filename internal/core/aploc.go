@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/wardrive"
+)
+
+// APLocConfig tunes the AP-Loc training-based localization.
+type APLocConfig struct {
+	// TrainingRadius is the theoretical upper bound on AP transmission
+	// distance used as the radius of the training-location discs (the
+	// paper: "use a theoretical upper bound as the radius").
+	TrainingRadius float64
+	// Rad configures the subsequent AP-Rad radius estimation.
+	Rad APRadConfig
+}
+
+// EstimateAPLocations is the first stage of the paper's AP-Loc algorithm:
+// for each AP heard in the training set, intersect discs of radius
+// TrainingRadius centred at the training locations that heard it, and
+// estimate the AP's location as the centroid of the intersection region's
+// vertex set (a reuse of M-Loc's machinery with training locations playing
+// the role of APs).
+func EstimateAPLocations(tuples []wardrive.Tuple, cfg APLocConfig) (Knowledge, error) {
+	if cfg.TrainingRadius <= 0 {
+		return nil, fmt.Errorf("core: AP-Loc needs TrainingRadius > 0, got %v",
+			cfg.TrainingRadius)
+	}
+	aps := wardrive.APsInTraining(tuples)
+	if len(aps) == 0 {
+		return nil, fmt.Errorf("core: training set names no APs: %w", ErrNoAPs)
+	}
+	k := make(Knowledge, len(aps))
+	for _, ap := range aps {
+		locs := wardrive.TuplesForAP(tuples, ap)
+		discs := make([]geom.Circle, 0, len(locs))
+		for _, l := range locs {
+			discs = append(discs, geom.Circle{C: l, R: cfg.TrainingRadius})
+		}
+		verts := geom.RegionVertices(discs)
+		if len(verts) == 0 {
+			// Inconsistent training data for this AP (e.g. two hearing
+			// locations farther apart than twice the bound); fall back to
+			// the centroid of the hearing locations.
+			verts = locs
+		}
+		c, err := geom.Centroid(verts)
+		if err != nil {
+			return nil, fmt.Errorf("core: ap-loc centroid for %v: %w", ap, err)
+		}
+		k[ap] = APInfo{BSSID: ap, Pos: c}
+	}
+	return k, nil
+}
+
+// APLoc is the paper's full AP-Loc algorithm: estimate AP locations from
+// training tuples, estimate their radii with AP-Rad over the observed
+// device sets, then locate the target device with M-Loc.
+func APLoc(tuples []wardrive.Tuple, deviceSets map[dot11.MAC][]dot11.MAC,
+	target dot11.MAC, cfg APLocConfig) (Estimate, error) {
+	k, err := EstimateAPLocations(tuples, cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := APRad(k, deviceSets, target, cfg.Rad)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.Method = "ap-loc"
+	return est, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/wardrive"
+)
+
+// buildTrainingScenario makes a small world, wardrives a route through it,
+// and builds device observation sets under the spherical model.
+func buildTrainingScenario(t *testing.T) (*sim.World, []wardrive.Tuple,
+	map[dot11.MAC][]dot11.MAC, map[dot11.MAC]geom.Point) {
+	t.Helper()
+	w := sim.NewWorld(21)
+	positions := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(150, 50), geom.Pt(300, 0),
+		geom.Pt(80, 200), geom.Pt(250, 180),
+	}
+	for i, p := range positions {
+		ap, err := sim.NewAP(i, "t", p, 6, 130)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.AddAP(ap)
+	}
+	// Dense serpentine wardrive covering the area.
+	var waypoints []geom.Point
+	for y := -50.0; y <= 250; y += 60 {
+		if int(y/60)%2 == 0 {
+			waypoints = append(waypoints, geom.Pt(-50, y), geom.Pt(350, y))
+		} else {
+			waypoints = append(waypoints, geom.Pt(350, y), geom.Pt(-50, y))
+		}
+	}
+	route := sim.NewRouteWalk(waypoints, 10)
+	tuples := wardrive.Collector{World: w}.CollectAlong(route, 4)
+	if len(tuples) < 10 {
+		t.Fatalf("too few training tuples: %d", len(tuples))
+	}
+
+	sets := make(map[dot11.MAC][]dot11.MAC)
+	truths := make(map[dot11.MAC]geom.Point)
+	id := 0
+	for x := 50.0; x <= 250; x += 100 {
+		for y := 0.0; y <= 200; y += 100 {
+			pos := geom.Pt(x, y)
+			aps := w.CommunicableAPs(pos)
+			if len(aps) == 0 {
+				continue
+			}
+			d := sim.NewMAC(0xD0, id)
+			id++
+			macs := make([]dot11.MAC, 0, len(aps))
+			for _, ap := range aps {
+				macs = append(macs, ap.MAC)
+			}
+			sets[d] = macs
+			truths[d] = pos
+		}
+	}
+	return w, tuples, sets, truths
+}
+
+func TestEstimateAPLocations(t *testing.T) {
+	w, tuples, _, _ := buildTrainingScenario(t)
+	k, err := EstimateAPLocations(tuples, APLocConfig{TrainingRadius: 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != len(w.APs) {
+		t.Fatalf("estimated %d APs, want %d", len(k), len(w.APs))
+	}
+	var total float64
+	for _, ap := range w.APs {
+		in, ok := k[ap.MAC]
+		if !ok {
+			t.Fatalf("AP %v not estimated", ap.MAC)
+		}
+		e := in.Pos.Dist(ap.Pos)
+		total += e
+		if e > 130 {
+			t.Errorf("AP %v location error %.1f m too large", ap.MAC, e)
+		}
+	}
+	if avg := total / float64(len(w.APs)); avg > 70 {
+		t.Errorf("average AP location error = %.1f m, want < 70", avg)
+	}
+}
+
+func TestEstimateAPLocationsValidation(t *testing.T) {
+	if _, err := EstimateAPLocations(nil, APLocConfig{}); err == nil {
+		t.Error("want error for zero training radius")
+	}
+	if _, err := EstimateAPLocations(nil, APLocConfig{TrainingRadius: 100}); err == nil {
+		t.Error("want error for empty training set")
+	}
+}
+
+func TestEstimateAPLocationsInconsistentFallback(t *testing.T) {
+	// Two hearing locations 500 m apart with a 100 m bound: the discs are
+	// disjoint, so AP-Loc falls back to the hearing-location centroid.
+	ap := sim.NewMAC(0xA0, 0)
+	tuples := []wardrive.Tuple{
+		{Pos: geom.Pt(0, 0), APs: []dot11.MAC{ap}},
+		{Pos: geom.Pt(500, 0), APs: []dot11.MAC{ap}},
+	}
+	k, err := EstimateAPLocations(tuples, APLocConfig{TrainingRadius: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[ap].Pos != geom.Pt(250, 0) {
+		t.Errorf("fallback position = %v, want (250,0)", k[ap].Pos)
+	}
+}
+
+func TestAPLocEndToEnd(t *testing.T) {
+	_, tuples, sets, truths := buildTrainingScenario(t)
+	cfg := APLocConfig{
+		TrainingRadius: 130,
+		Rad:            APRadConfig{MaxRadius: 260},
+	}
+	var errSum float64
+	n := 0
+	for dev, truth := range truths {
+		est, err := APLoc(tuples, sets, dev, cfg)
+		if err != nil {
+			continue
+		}
+		if est.Method != "ap-loc" {
+			t.Fatalf("method = %q", est.Method)
+		}
+		errSum += Error(est, truth)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no device located")
+	}
+	avg := errSum / float64(n)
+	// AP-Loc stacks AP-location error on radius-estimation error; the
+	// paper reports ~12 m on its campus with 19 tuples. At this toy scale
+	// anything well under the AP range shows the pipeline works.
+	if avg > 130 {
+		t.Errorf("AP-Loc average error = %.1f m, want < 130", avg)
+	}
+	if math.IsNaN(avg) {
+		t.Fatal("NaN error")
+	}
+}

@@ -1,0 +1,144 @@
+// Package core implements the digital Marauder's map malicious
+// localization algorithms — the paper's primary contribution:
+//
+//   - M-Loc: locate a mobile device when AP locations and maximum
+//     transmission distances are known, by intersecting the APs' maximum
+//     coverage discs and returning the centroid of the intersection
+//     region's vertex set Δ.
+//   - AP-Rad: when only AP locations are known, first estimate the APs'
+//     maximum transmission distances with a linear program over pairwise
+//     co-observation constraints (maximize Σ rᵢ subject to rᵢ + rⱼ ≥ dᵢⱼ
+//     for co-observed pairs and rᵢ + rⱼ < dᵢⱼ otherwise), then call M-Loc.
+//   - AP-Loc: when nothing is known, estimate each AP's location from
+//     wardriving training tuples by disc intersection with an upper-bound
+//     radius, then call AP-Rad and M-Loc.
+//
+// The package also provides the Centroid and Closest-AP baselines the
+// paper compares against, and a Tracker that runs continuous localization
+// over the observation store.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+// APInfo is the attacker's knowledge about one AP: its identity, its
+// location, and (when known or estimated) its maximum transmission
+// distance.
+type APInfo struct {
+	BSSID dot11.MAC `json:"bssid"`
+	// Pos is the AP position in the attack's local plane (metres).
+	Pos geom.Point `json:"pos"`
+	// MaxRange is the maximum transmission distance rᵢ; 0 means unknown.
+	MaxRange float64 `json:"maxRange"`
+}
+
+// Knowledge indexes APInfo by BSSID — the per-attack AP knowledge base
+// (external knowledge, or the output of AP-Loc's training).
+type Knowledge map[dot11.MAC]APInfo
+
+// NewKnowledge builds a Knowledge map from a list of APInfo.
+func NewKnowledge(infos []APInfo) Knowledge {
+	k := make(Knowledge, len(infos))
+	for _, in := range infos {
+		k[in.BSSID] = in
+	}
+	return k
+}
+
+// Discs returns the coverage discs of the APs in Γ that are present in the
+// knowledge base, using each AP's own MaxRange (or fallbackRange when the
+// AP's range is unknown; fallbackRange ≤ 0 skips range-less APs).
+func (k Knowledge) Discs(gamma []dot11.MAC, fallbackRange float64) []geom.Circle {
+	discs := make([]geom.Circle, 0, len(gamma))
+	for _, m := range gamma {
+		in, ok := k[m]
+		if !ok {
+			continue
+		}
+		r := in.MaxRange
+		if r <= 0 {
+			if fallbackRange <= 0 {
+				continue
+			}
+			r = fallbackRange
+		}
+		discs = append(discs, geom.Circle{C: in.Pos, R: r})
+	}
+	return discs
+}
+
+// Positions returns the known positions of the APs in Γ.
+func (k Knowledge) Positions(gamma []dot11.MAC) []geom.Point {
+	pts := make([]geom.Point, 0, len(gamma))
+	for _, m := range gamma {
+		if in, ok := k[m]; ok {
+			pts = append(pts, in.Pos)
+		}
+	}
+	return pts
+}
+
+// Estimate is a localization result.
+type Estimate struct {
+	// Pos is the estimated device location.
+	Pos geom.Point `json:"pos"`
+	// Vertices is the intersection-region vertex set Δ (M-Loc only).
+	Vertices []geom.Point `json:"vertices,omitempty"`
+	// K is the number of AP discs used.
+	K int `json:"k"`
+	// Method names the algorithm that produced the estimate.
+	Method string `json:"method"`
+}
+
+// Localization errors.
+var (
+	// ErrNoAPs means Γ contains no AP present in the knowledge base.
+	ErrNoAPs = errors.New("core: no usable APs in observation")
+	// ErrEmptyRegion means the maximum-coverage discs have an empty
+	// intersection (inconsistent knowledge, e.g. underestimated radii).
+	ErrEmptyRegion = errors.New("core: empty intersection region")
+)
+
+// MLoc is the paper's M-Loc algorithm: given AP locations and maximum
+// transmission distances and the observed set Γ of APs communicating with
+// the device, compute all pairwise disc-boundary intersection points that
+// lie inside every disc (the vertex set Δ) and return their centroid.
+//
+// With a single usable AP the estimate degenerates to the AP's position
+// (the nearest-AP behaviour the paper notes for k = 1).
+func MLoc(k Knowledge, gamma []dot11.MAC) (Estimate, error) {
+	discs := k.Discs(gamma, 0)
+	if len(discs) == 0 {
+		return Estimate{}, ErrNoAPs
+	}
+	verts := geom.RegionVertices(discs)
+	if len(verts) == 0 {
+		return Estimate{}, fmt.Errorf("mloc with %d discs: %w", len(discs), ErrEmptyRegion)
+	}
+	c, err := geom.Centroid(verts)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Pos: c, Vertices: verts, K: len(discs), Method: "m-loc"}, nil
+}
+
+// RegionArea returns the exact area of the intersection region an estimate
+// was derived from — the paper's "intersected area" metric (Figs 2, 15).
+func RegionArea(k Knowledge, gamma []dot11.MAC) float64 {
+	return geom.IntersectionArea(k.Discs(gamma, 0))
+}
+
+// RegionCovers reports whether the intersection region of Γ's discs covers
+// the point p — the paper's coverage-probability metric (Figs 6, 16).
+func RegionCovers(k Knowledge, gamma []dot11.MAC, p geom.Point) bool {
+	discs := k.Discs(gamma, 0)
+	if len(discs) == 0 {
+		return false
+	}
+	return geom.InAllDiscs(p, discs)
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+func mustMAC(s string) dot11.MAC {
+	m, err := dot11.ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ExampleMLoc locates a device from the set of APs it was observed
+// communicating with, given the APs' locations and maximum transmission
+// distances.
+func ExampleMLoc() {
+	ap1 := mustMAC("00:1b:2f:00:00:01")
+	ap2 := mustMAC("00:1b:2f:00:00:02")
+	know := core.NewKnowledge([]core.APInfo{
+		{BSSID: ap1, Pos: geom.Pt(-50, 0), MaxRange: 100},
+		{BSSID: ap2, Pos: geom.Pt(50, 0), MaxRange: 100},
+	})
+	est, err := core.MLoc(know, []dot11.MAC{ap1, ap2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("estimate %v from k=%d APs\n", est.Pos, est.K)
+	// Output: estimate (0.000, 0.000) from k=2 APs
+}
+
+// ExampleEstimateRadii shows AP-Rad's radius estimation: co-observation
+// forces rᵢ + rⱼ ≥ dᵢⱼ while never-co-observed pairs stay apart.
+func ExampleEstimateRadii() {
+	ap1 := mustMAC("00:1b:2f:00:00:01")
+	ap2 := mustMAC("00:1b:2f:00:00:02")
+	know := core.NewKnowledge([]core.APInfo{
+		{BSSID: ap1, Pos: geom.Pt(0, 0)},
+		{BSSID: ap2, Pos: geom.Pt(120, 0)},
+	})
+	observations := map[dot11.MAC][]dot11.MAC{
+		mustMAC("02:dd:00:00:00:01"): {ap1, ap2}, // one device saw both
+	}
+	est, _, err := core.EstimateRadii(know, observations,
+		core.APRadConfig{MaxRadius: 150})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r1 := est[ap1].MaxRange
+	r2 := est[ap2].MaxRange
+	fmt.Printf("r1+r2 >= 120: %v\n", r1+r2 >= 120)
+	// Output: r1+r2 >= 120: true
+}
+
+// ExampleCentroidBaseline shows the prior-work baseline the paper
+// compares against.
+func ExampleCentroidBaseline() {
+	ap1 := mustMAC("00:1b:2f:00:00:01")
+	ap2 := mustMAC("00:1b:2f:00:00:02")
+	know := core.NewKnowledge([]core.APInfo{
+		{BSSID: ap1, Pos: geom.Pt(0, 0), MaxRange: 100},
+		{BSSID: ap2, Pos: geom.Pt(100, 0), MaxRange: 100},
+	})
+	est, err := core.CentroidBaseline(know, []dot11.MAC{ap1, ap2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(est.Pos)
+	// Output: (50.000, 0.000)
+}

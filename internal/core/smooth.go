@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// SmoothTrack runs an alpha-beta filter over a sequence of track points,
+// fusing each window's noisy M-Loc fix with a constant-velocity motion
+// model. Pedestrian victims move slowly and steadily, so smoothing
+// typically cuts the per-fix error substantially — an attack improvement
+// beyond the paper's per-window estimates.
+//
+// alpha weights position innovation (0..1, higher trusts measurements
+// more) and beta velocity innovation. Typical pedestrian values:
+// alpha 0.5, beta 0.1. The input must be time-ordered.
+func SmoothTrack(points []TrackPoint, alpha, beta float64) ([]TrackPoint, error) {
+	if alpha <= 0 || alpha > 1 || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("core: smoothing gains out of range: alpha=%v beta=%v",
+			alpha, beta)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	out := make([]TrackPoint, len(points))
+	out[0] = points[0]
+	pos := points[0].Est.Pos
+	var vel geom.Point
+	lastT := points[0].TimeSec
+	for i := 1; i < len(points); i++ {
+		p := points[i]
+		dt := p.TimeSec - lastT
+		if dt <= 0 {
+			return nil, fmt.Errorf("core: track points not time-ordered at index %d", i)
+		}
+		// Predict.
+		pred := pos.Add(vel.Scale(dt))
+		// Innovate.
+		resid := p.Est.Pos.Sub(pred)
+		pos = pred.Add(resid.Scale(alpha))
+		vel = vel.Add(resid.Scale(beta / dt))
+		lastT = p.TimeSec
+
+		est := p.Est
+		est.Pos = pos
+		est.Method = p.Est.Method + "+smoothed"
+		out[i] = TrackPoint{TimeSec: p.TimeSec, Est: est}
+	}
+	return out, nil
+}
+
+// TrackError summarizes a track against a ground-truth trajectory function
+// (time → position), returning the mean error in metres.
+func TrackError(points []TrackPoint, truthAt func(float64) geom.Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		sum += p.Est.Pos.Dist(truthAt(p.TimeSec))
+	}
+	return sum / float64(len(points))
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// noisyTrack simulates a device walking east at 1.5 m/s with noisy fixes.
+func noisyTrack(n int, noiseStd float64, rng *rand.Rand) ([]TrackPoint, func(float64) geom.Point) {
+	truthAt := func(t float64) geom.Point { return geom.Pt(1.5*t, 0) }
+	points := make([]TrackPoint, 0, n)
+	for i := 0; i < n; i++ {
+		ts := float64(i) * 30
+		truth := truthAt(ts)
+		points = append(points, TrackPoint{
+			TimeSec: ts,
+			Est: Estimate{
+				Pos: geom.Pt(
+					truth.X+rng.NormFloat64()*noiseStd,
+					truth.Y+rng.NormFloat64()*noiseStd,
+				),
+				Method: "m-loc",
+			},
+		})
+	}
+	return points, truthAt
+}
+
+func TestSmoothTrackReducesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var rawSum, smoothSum float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		points, truthAt := noisyTrack(40, 15, rng)
+		smoothed, err := SmoothTrack(points, 0.5, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(smoothed) != len(points) {
+			t.Fatalf("smoothed %d points, want %d", len(smoothed), len(points))
+		}
+		rawSum += TrackError(points, truthAt)
+		smoothSum += TrackError(smoothed, truthAt)
+	}
+	raw, smooth := rawSum/trials, smoothSum/trials
+	if smooth >= raw {
+		t.Errorf("smoothing should reduce error: raw %.2f vs smooth %.2f", raw, smooth)
+	}
+	if smooth > 0.85*raw {
+		t.Errorf("smoothing gain too small: raw %.2f vs smooth %.2f", raw, smooth)
+	}
+}
+
+func TestSmoothTrackValidation(t *testing.T) {
+	points, _ := noisyTrack(5, 1, rand.New(rand.NewSource(1)))
+	if _, err := SmoothTrack(points, 0, 0.1); err == nil {
+		t.Error("want error for alpha=0")
+	}
+	if _, err := SmoothTrack(points, 0.5, 2); err == nil {
+		t.Error("want error for beta>1")
+	}
+	// Out-of-order timestamps.
+	bad := []TrackPoint{{TimeSec: 10}, {TimeSec: 5}}
+	if _, err := SmoothTrack(bad, 0.5, 0.1); err == nil {
+		t.Error("want error for unordered points")
+	}
+	// Degenerate inputs.
+	if got, err := SmoothTrack(nil, 0.5, 0.1); err != nil || got != nil {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+	one := points[:1]
+	got, err := SmoothTrack(one, 0.5, 0.1)
+	if err != nil || len(got) != 1 || got[0].Est.Pos != one[0].Est.Pos {
+		t.Errorf("single point should pass through: %v, %v", got, err)
+	}
+}
+
+func TestSmoothTrackMarksMethod(t *testing.T) {
+	points, _ := noisyTrack(3, 1, rand.New(rand.NewSource(2)))
+	smoothed, err := SmoothTrack(points, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smoothed[1].Est.Method != "m-loc+smoothed" {
+		t.Errorf("method = %q", smoothed[1].Est.Method)
+	}
+}
+
+func TestTrackError(t *testing.T) {
+	if TrackError(nil, nil) != 0 {
+		t.Error("empty track error should be 0")
+	}
+	points := []TrackPoint{
+		{TimeSec: 0, Est: Estimate{Pos: geom.Pt(3, 4)}},
+		{TimeSec: 1, Est: Estimate{Pos: geom.Pt(0, 0)}},
+	}
+	truthAt := func(float64) geom.Point { return geom.Pt(0, 0) }
+	if got := TrackError(points, truthAt); got != 2.5 {
+		t.Errorf("mean error = %v, want 2.5", got)
+	}
+}

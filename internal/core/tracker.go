@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// Locator is a localization algorithm mapping the attacker's knowledge and
+// an observed AP set Γ to an estimate. MLoc, CentroidBaseline and
+// ClosestAPBaseline satisfy this signature; AP-Rad and AP-Loc become
+// Locators once their radius/location estimation has produced a Knowledge.
+type Locator func(Knowledge, []dot11.MAC) (Estimate, error)
+
+// TrackPoint is one position fix of a tracked device.
+type TrackPoint struct {
+	// TimeSec is the centre of the observation window.
+	TimeSec float64 `json:"timeSec"`
+	// Est is the location estimate for that window.
+	Est Estimate `json:"est"`
+}
+
+// Tracker runs continuous localization over an observation store — the
+// live "Marauder's map": every device, every window, one dot on the map.
+type Tracker struct {
+	// Know is the AP knowledge base (external or trained).
+	Know Knowledge
+	// Store supplies the observations.
+	Store *obs.Store
+	// WindowSec is the observation window width; a device's Γ for a fix at
+	// time t is everything observed in [t−WindowSec/2, t+WindowSec/2).
+	WindowSec float64
+	// Locate is the algorithm; nil means MLoc.
+	Locate Locator
+}
+
+func (t *Tracker) locate(gamma []dot11.MAC) (Estimate, error) {
+	if t.Locate != nil {
+		return t.Locate(t.Know, gamma)
+	}
+	return MLoc(t.Know, gamma)
+}
+
+// Fix estimates the device's position from the observations in the window
+// centred at timeSec.
+func (t *Tracker) Fix(dev dot11.MAC, timeSec float64) (Estimate, error) {
+	if t.WindowSec <= 0 {
+		return Estimate{}, fmt.Errorf("core: tracker needs WindowSec > 0")
+	}
+	gamma := t.Store.APSetWindow(dev, timeSec-t.WindowSec/2, timeSec+t.WindowSec/2)
+	if len(gamma) == 0 {
+		return Estimate{}, ErrNoAPs
+	}
+	return t.locate(gamma)
+}
+
+// Track produces fixes for the device every stepSec over [startSec,
+// endSec]; windows without observations are skipped.
+func (t *Tracker) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]TrackPoint, error) {
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("core: tracker needs stepSec > 0")
+	}
+	var out []TrackPoint
+	for ts := startSec; ts <= endSec; ts += stepSec {
+		est, err := t.Fix(dev, ts)
+		if err != nil {
+			continue
+		}
+		out = append(out, TrackPoint{TimeSec: ts, Est: est})
+	}
+	return out, nil
+}
+
+// Snapshot locates every device with observations in the window centred at
+// timeSec — one full frame of the Marauder's map.
+func (t *Tracker) Snapshot(timeSec float64) map[dot11.MAC]Estimate {
+	out := make(map[dot11.MAC]Estimate)
+	for _, dev := range t.Store.Devices() {
+		est, err := t.Fix(dev, timeSec)
+		if err != nil {
+			continue
+		}
+		out[dev] = est
+	}
+	return out
+}
+
+// Error returns the Euclidean localization error between an estimate and
+// the true position, in metres.
+func Error(est Estimate, truth geom.Point) float64 {
+	return est.Pos.Dist(truth)
+}

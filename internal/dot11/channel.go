@@ -1,0 +1,110 @@
+package dot11
+
+import (
+	"fmt"
+	"math"
+)
+
+// 2.4 GHz 802.11 b/g channel plan. Channels 1-13 are spaced 5 MHz apart and
+// each signal occupies ~22 MHz, so only channels 1, 6 and 11 are mutually
+// non-overlapping — the fact behind the paper's 3-card channel plan.
+const (
+	// MinChannel and MaxChannel bound the 2.4 GHz channels we model.
+	MinChannel = 1
+	MaxChannel = 11
+	// ChannelWidthMHz is the occupied bandwidth of a DSSS/OFDM signal.
+	ChannelWidthMHz = 22.0
+	// channelSpacingMHz is the centre-frequency spacing.
+	channelSpacingMHz = 5.0
+)
+
+// NonOverlapping is the classic non-interfering channel triple.
+var NonOverlapping = []int{1, 6, 11}
+
+// ChannelFreqHz returns the centre frequency of a 2.4 GHz channel.
+func ChannelFreqHz(ch int) (float64, error) {
+	if ch < 1 || ch > 14 {
+		return 0, fmt.Errorf("dot11: invalid 2.4 GHz channel %d", ch)
+	}
+	if ch == 14 {
+		return 2.484e9, nil
+	}
+	return 2.412e9 + float64(ch-1)*channelSpacingMHz*1e6, nil
+}
+
+// SpectralOverlap returns the fraction (0..1) of transmit energy on channel
+// tx that falls inside a receiver filter centred on channel rx, using a
+// rectangular 22 MHz spectral mask approximation. Same channel → 1;
+// channels ≥ 5 apart → 0.
+func SpectralOverlap(tx, rx int) float64 {
+	sep := math.Abs(float64(tx-rx)) * channelSpacingMHz
+	if sep >= ChannelWidthMHz {
+		return 0
+	}
+	return (ChannelWidthMHz - sep) / ChannelWidthMHz
+}
+
+// LeakageDB returns the power penalty in dB a receiver on channel rx incurs
+// when picking up a transmission on channel tx. 0 dB on-channel, +inf
+// (represented as math.Inf) for non-overlapping channels.
+//
+// Beyond raw energy loss, off-channel signals are spectrally truncated and
+// cannot be demodulated even at high power; callers model that with
+// DecodableCrossChannel.
+func LeakageDB(tx, rx int) float64 {
+	ov := SpectralOverlap(tx, rx)
+	if ov <= 0 {
+		return math.Inf(1)
+	}
+	return -10 * math.Log10(ov)
+}
+
+// DecodableCrossChannel reports whether a frame transmitted on channel tx
+// can be correctly decoded by a card listening on channel rx. Per the
+// paper's Fig 9 experiment — a sender metres away from listeners on every
+// channel — a card on a neighbouring channel picks up leaked energy but
+// the spectrally truncated, carrier-offset signal defeats the demodulator
+// regardless of how strong it is: decoding succeeds only on the exact
+// channel.
+func DecodableCrossChannel(tx, rx int) bool {
+	return tx == rx
+}
+
+// ChannelPlan maps monitoring cards to channels and answers which observed
+// channels each card can decode.
+type ChannelPlan struct {
+	// Cards holds the channel each monitoring card listens on.
+	Cards []int
+}
+
+// DefaultPlan is the paper's 3-card plan monitoring channels 1, 6 and 11,
+// which covers the 93.7% of APs on those channels.
+func DefaultPlan() ChannelPlan {
+	return ChannelPlan{Cards: append([]int(nil), NonOverlapping...)}
+}
+
+// FullPlan listens on all 11 channels (the expensive alternative).
+func FullPlan() ChannelPlan {
+	cards := make([]int, 0, MaxChannel)
+	for ch := MinChannel; ch <= MaxChannel; ch++ {
+		cards = append(cards, ch)
+	}
+	return ChannelPlan{Cards: cards}
+}
+
+// FolkPlan is the {3, 6, 9} plan the paper's Fig 9 debunks: it relies on
+// adjacent-channel decoding, which does not work in practice.
+func FolkPlan() ChannelPlan {
+	return ChannelPlan{Cards: []int{3, 6, 9}}
+}
+
+// Covers reports whether any card in the plan can decode a transmission on
+// channel tx.
+func (p ChannelPlan) Covers(tx int) bool {
+	for _, rx := range p.Cards {
+		if DecodableCrossChannel(tx, rx) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the 802.11 frame parser with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to the same wire
+// bytes (parse/serialize round-trip stability).
+func FuzzDecode(f *testing.F) {
+	seed1, _ := NewBeacon(MAC{1, 2, 3, 4, 5, 6}, "seed", 6, 42, 7).Encode()
+	seed2, _ := NewProbeRequest(MAC{9, 8, 7, 6, 5, 4}, "", 1).Encode()
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip changed bytes:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeRadiotap checks the radiotap splitter never panics and never
+// returns a body that escapes the input buffer.
+func FuzzDecodeRadiotap(f *testing.F) {
+	frame, _ := NewProbeRequest(MAC{1}, "x", 0).Encode()
+	f.Add(EncodeRadiotap(Radiotap{ChannelMHz: 2437, SignalDBm: -60, NoiseDBm: -95}, frame))
+	f.Add([]byte{0, 0, 8, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, body, err := DecodeRadiotap(data)
+		if err != nil {
+			return
+		}
+		if len(body) > len(data) {
+			t.Fatalf("body longer than input: %d > %d", len(body), len(data))
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements the subset of the radiotap capture header real
+// sniffing stacks prepend to 802.11 frames (LINKTYPE_IEEE802_11_RADIOTAP).
+// Persisting captures with radiotap keeps the per-frame radio metadata —
+// channel and signal strength — that the classic bare-802.11 link type
+// throws away, so a pcap written by the sniffer can be re-ingested without
+// losing the capture context.
+
+// Radiotap present-word bits used here.
+const (
+	rtPresentFlags       = 1 << 1
+	rtPresentChannel     = 1 << 3
+	rtPresentAntennaSig  = 1 << 5
+	rtPresentAntennaNois = 1 << 6
+)
+
+// Radiotap channel flags.
+const (
+	rtChanCCK  = 0x0020
+	rtChan2GHz = 0x0080
+)
+
+// Radiotap is the capture metadata of one frame.
+type Radiotap struct {
+	// ChannelMHz is the capture channel's centre frequency in MHz.
+	ChannelMHz uint16
+	// SignalDBm is the antenna signal in dBm.
+	SignalDBm int8
+	// NoiseDBm is the antenna noise floor in dBm.
+	NoiseDBm int8
+}
+
+// Radiotap errors.
+var (
+	ErrRadiotapShort   = errors.New("dot11: radiotap header truncated")
+	ErrRadiotapVersion = errors.New("dot11: unsupported radiotap version")
+)
+
+// rtHeaderLen is the fixed size of the radiotap layout this package emits:
+// 8-byte preamble + flags(1) + pad(1) + channel(4) + signal(1) + noise(1).
+const rtHeaderLen = 16
+
+// Channel returns the 2.4 GHz channel number of the radiotap frequency,
+// or 0 when the frequency is not a 2.4 GHz channel centre.
+func (r Radiotap) Channel() int {
+	for ch := MinChannel; ch <= 14; ch++ {
+		freq, err := ChannelFreqHz(ch)
+		if err != nil {
+			continue
+		}
+		if math.Abs(freq/1e6-float64(r.ChannelMHz)) < 0.5 {
+			return ch
+		}
+	}
+	return 0
+}
+
+// EncodeRadiotap prepends a radiotap header to an encoded 802.11 frame.
+func EncodeRadiotap(rt Radiotap, frame []byte) []byte {
+	buf := make([]byte, rtHeaderLen, rtHeaderLen+len(frame))
+	// it_version=0, it_pad=0.
+	binary.LittleEndian.PutUint16(buf[2:4], rtHeaderLen)
+	binary.LittleEndian.PutUint32(buf[4:8],
+		rtPresentFlags|rtPresentChannel|rtPresentAntennaSig|rtPresentAntennaNois)
+	buf[8] = 0 // flags: nothing special; FCS kept in frame body
+	// buf[9] is alignment padding: the channel field is u16-aligned.
+	binary.LittleEndian.PutUint16(buf[10:12], rt.ChannelMHz)
+	binary.LittleEndian.PutUint16(buf[12:14], rtChan2GHz|rtChanCCK)
+	buf[14] = byte(rt.SignalDBm)
+	buf[15] = byte(rt.NoiseDBm)
+	return append(buf, frame...)
+}
+
+// DecodeRadiotap splits a radiotap-prefixed capture into its metadata and
+// the raw 802.11 frame. It tolerates any header length declared by the
+// preamble and any present-word layout this package emits; headers from
+// other producers are skipped with zeroed metadata when their layout is
+// not understood.
+func DecodeRadiotap(b []byte) (Radiotap, []byte, error) {
+	if len(b) < 8 {
+		return Radiotap{}, nil, ErrRadiotapShort
+	}
+	if b[0] != 0 {
+		return Radiotap{}, nil, fmt.Errorf("%w: version %d", ErrRadiotapVersion, b[0])
+	}
+	hdrLen := int(binary.LittleEndian.Uint16(b[2:4]))
+	if hdrLen < 8 || hdrLen > len(b) {
+		return Radiotap{}, nil, ErrRadiotapShort
+	}
+	present := binary.LittleEndian.Uint32(b[4:8])
+	var rt Radiotap
+	// Only parse the exact layout this package writes.
+	if present == rtPresentFlags|rtPresentChannel|rtPresentAntennaSig|rtPresentAntennaNois &&
+		hdrLen >= rtHeaderLen {
+		rt.ChannelMHz = binary.LittleEndian.Uint16(b[10:12])
+		rt.SignalDBm = int8(b[14])
+		rt.NoiseDBm = int8(b[15])
+	}
+	return rt, b[hdrLen:], nil
+}

@@ -1,0 +1,90 @@
+package dot11
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadiotapRoundTrip(t *testing.T) {
+	frame, err := NewBeacon(MAC{1, 2, 3, 4, 5, 6}, "net", 6, 99, 1).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := Radiotap{ChannelMHz: 2437, SignalDBm: -63, NoiseDBm: -95}
+	raw := EncodeRadiotap(rt, frame)
+	got, body, err := DecodeRadiotap(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rt {
+		t.Errorf("radiotap = %+v, want %+v", got, rt)
+	}
+	if !bytes.Equal(body, frame) {
+		t.Error("frame body corrupted")
+	}
+	if _, err := Decode(body); err != nil {
+		t.Errorf("decoded body invalid: %v", err)
+	}
+}
+
+func TestRadiotapChannelLookup(t *testing.T) {
+	tests := []struct {
+		mhz  uint16
+		want int
+	}{{2412, 1}, {2437, 6}, {2462, 11}, {2484, 14}, {5180, 0}, {0, 0}}
+	for _, tt := range tests {
+		rt := Radiotap{ChannelMHz: tt.mhz}
+		if got := rt.Channel(); got != tt.want {
+			t.Errorf("Channel(%d MHz) = %d, want %d", tt.mhz, got, tt.want)
+		}
+	}
+}
+
+func TestRadiotapDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeRadiotap([]byte{1, 2}); !errors.Is(err, ErrRadiotapShort) {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, 16)
+	bad[0] = 2 // version
+	if _, _, err := DecodeRadiotap(bad); !errors.Is(err, ErrRadiotapVersion) {
+		t.Errorf("version: %v", err)
+	}
+	// Declared header length beyond the buffer.
+	tooLong := make([]byte, 12)
+	tooLong[2] = 200
+	if _, _, err := DecodeRadiotap(tooLong); !errors.Is(err, ErrRadiotapShort) {
+		t.Errorf("overlong: %v", err)
+	}
+}
+
+func TestRadiotapForeignLayoutSkipped(t *testing.T) {
+	// A foreign radiotap header (different present word) must be skipped
+	// with zeroed metadata, keeping the frame intact.
+	foreign := make([]byte, 12)
+	foreign[2] = 12   // header length
+	foreign[4] = 0x01 // present: TSFT only (not our layout)
+	body := []byte{9, 9, 9}
+	rt, got, err := DecodeRadiotap(append(foreign, body...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != (Radiotap{}) {
+		t.Errorf("foreign metadata should be zero, got %+v", rt)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("body = %v", got)
+	}
+}
+
+func TestRadiotapRoundTripProperty(t *testing.T) {
+	f := func(mhz uint16, sig, noise int8, payload []byte) bool {
+		rt := Radiotap{ChannelMHz: mhz, SignalDBm: sig, NoiseDBm: noise}
+		got, body, err := DecodeRadiotap(EncodeRadiotap(rt, payload))
+		return err == nil && got == rt && bytes.Equal(body, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AblationChannelPlans compares monitoring channel plans (DESIGN.md §5):
+// the fraction of a campus AP population whose channel each plan can
+// decode, and the card count it costs. The paper's claim: {1,6,11} with 3
+// cards covers ~93.7% of APs; the folk {3,6,9} plan covers almost nothing
+// extra because adjacent-channel decoding fails (Fig 9).
+func AblationChannelPlans(nAPs int, seed int64) (Table, error) {
+	t := Table{
+		ID:     "ablation-channel-plans",
+		Title:  "Channel plans: fraction of campus APs decodable",
+		Header: []string{"plan", "cards", "fraction"},
+		Notes:  "paper: 3 cards on 1/6/11 suffice (93.7%); {3,6,9} folk plan fails",
+	}
+	w := sim.NewWorld(seed)
+	aps, err := sim.CampusDeployment(nAPs, w.RNG())
+	if err != nil {
+		return t, fmt.Errorf("channel ablation: %w", err)
+	}
+	plans := []struct {
+		name string
+		plan dot11.ChannelPlan
+	}{
+		{"1-6-11", dot11.DefaultPlan()},
+		{"3-6-9", dot11.FolkPlan()},
+		{"all-11", dot11.FullPlan()},
+	}
+	for _, p := range plans {
+		covered := 0
+		for _, ap := range aps {
+			if p.plan.Covers(ap.Channel) {
+				covered++
+			}
+		}
+		t.AddRow(p.name, len(p.plan.Cards), float64(covered)/float64(len(aps)))
+	}
+	return t, nil
+}
+
+// AblationCentroidEstimators compares the paper's M-Loc estimator (the
+// centroid of the intersection region's vertex set Δ) with the centroid of
+// the region's area estimated by Monte-Carlo sampling — a more expensive
+// estimator one might expect to be more accurate.
+func AblationCentroidEstimators(trials int, seed int64) (Table, error) {
+	t := Table{
+		ID:     "ablation-centroid",
+		Title:  "M-Loc estimator: vertex centroid vs region-area centroid",
+		Header: []string{"estimator", "mean_err_m", "p90_err_m"},
+		Notes:  "the vertex centroid is nearly as accurate and far cheaper",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var vertexErrs, areaErrs []float64
+	for i := 0; i < trials; i++ {
+		truth := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		k := rng.Intn(10) + 3
+		r := 80 + rng.Float64()*60
+		discs := make([]geom.Circle, 0, k)
+		for j := 0; j < k; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			d := rng.Float64() * r
+			discs = append(discs, geom.Circle{
+				C: geom.Pt(truth.X+d*math.Cos(ang), truth.Y+d*math.Sin(ang)),
+				R: r,
+			})
+		}
+		verts := geom.RegionVertices(discs)
+		if len(verts) == 0 {
+			continue
+		}
+		vc, err := geom.Centroid(verts)
+		if err != nil {
+			return t, err
+		}
+		vertexErrs = append(vertexErrs, vc.Dist(truth))
+		if ac, ok := geom.RegionCentroidMC(discs, 3000, rng); ok {
+			areaErrs = append(areaErrs, ac.Dist(truth))
+		}
+	}
+	if len(vertexErrs) == 0 || len(areaErrs) == 0 {
+		return t, fmt.Errorf("centroid ablation: no usable trials")
+	}
+	t.AddRow("vertex", stats.Mean(vertexErrs), stats.Quantile(vertexErrs, 0.9))
+	t.AddRow("area-mc", stats.Mean(areaErrs), stats.Quantile(areaErrs, 0.9))
+	return t, nil
+}
+
+// AblationRadiusEstimators compares AP-Rad's LP radius estimation with the
+// naive alternatives Theorem 3 warns about: a fixed theoretical upper
+// bound (areas blow up) and a fixed lower bound (regions stop covering the
+// device and often go empty).
+func AblationRadiusEstimators(seed int64) (Table, error) {
+	t := Table{
+		ID:     "ablation-radius",
+		Title:  "Radius estimation: AP-Rad LP vs fixed bounds",
+		Header: []string{"estimator", "mean_err_m", "coverage", "mean_area_m2", "failed"},
+		Notes:  "Theorem 3: underestimates collapse coverage; fixed overestimates inflate area",
+	}
+	run, err := RunCampus(CampusConfig{Seed: seed, NAPs: 240, ScanPositions: 60})
+	if err != nil {
+		return t, err
+	}
+	knowTrue := run.KnowTrue
+
+	variants := []struct {
+		name string
+		know core.Knowledge
+	}{
+		{"ap-rad-lp", run.KnowEst},
+		{"fixed-upper-160", withFixedRadius(knowTrue, 160)},
+		{"fixed-lower-60", withFixedRadius(knowTrue, 60)},
+		{"true-radii", knowTrue},
+	}
+	gammas, truths := run.ScanObservations()
+	for _, v := range variants {
+		var errs, areas []float64
+		covered, failed, total := 0, 0, 0
+		for i, gamma := range gammas {
+			if len(gamma) == 0 {
+				continue
+			}
+			total++
+			est, err := core.MLoc(v.know, gamma)
+			if err != nil {
+				failed++
+				continue
+			}
+			errs = append(errs, core.Error(est, truths[i]))
+			areas = append(areas, core.RegionArea(v.know, gamma))
+			if core.RegionCovers(v.know, gamma, truths[i]) {
+				covered++
+			}
+		}
+		cov := 0.0
+		if total > 0 {
+			cov = float64(covered) / float64(total)
+		}
+		t.AddRow(v.name, stats.Mean(errs), cov, stats.Mean(areas), failed)
+	}
+	return t, nil
+}
+
+func withFixedRadius(k core.Knowledge, r float64) core.Knowledge {
+	out := make(core.Knowledge, len(k))
+	for m, in := range k {
+		in.MaxRange = r
+		out[m] = in
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/privacy"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+	"repro/internal/stats"
+)
+
+// DefenseEvaluation quantifies how the countermeasures of package privacy
+// degrade the Marauder's map — the study the paper's conclusion calls for.
+// One victim walks the campus probing for its preferred networks; each
+// policy rewrites the victim's traffic before the sniffer sees it. The
+// attack then tracks every MAC it observes. Reported per policy:
+//
+//	fixes        — position fixes obtained across the victim's pseudonyms
+//	mean_err_m   — mean error of those fixes against the victim's truth
+//	identities   — distinct MACs the attacker must chase
+//	linked       — pseudonym pairs re-identified via probe-SSID
+//	               fingerprints (the Pang-et-al. counter-countermeasure)
+func DefenseEvaluation(seed int64) (Table, error) {
+	t := Table{
+		ID:     "defenses",
+		Title:  "Countermeasure evaluation: tracking the defended victim",
+		Header: []string{"policy", "fixes", "mean_err_m", "identities", "linked"},
+		Notes:  "extension: the camouflaging protocols the paper's conclusion calls for",
+	}
+
+	w := sim.NewWorld(seed)
+	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
+		N:        220,
+		Min:      geom.Pt(-350, -350),
+		Max:      geom.Pt(350, 350),
+		RangeMin: 70,
+		RangeMax: 130,
+	}, w.RNG())
+	if err != nil {
+		return t, fmt.Errorf("defenses: %w", err)
+	}
+	w.APs = aps
+
+	route := sim.NewRouteWalk([]geom.Point{
+		geom.Pt(-280, -200), geom.Pt(280, -200), geom.Pt(280, 100),
+		geom.Pt(-280, 100), geom.Pt(-280, 280),
+	}, 1.5)
+	victim := &sim.Device{
+		MAC:      sim.NewMAC(0xDD, 1),
+		Mobility: route,
+		TX:       rf.TypicalMobile,
+	}
+	w.AddDevice(victim)
+	total := route.TotalDuration()
+	const scanInterval = 30
+
+	// The victim's scans probe for its remembered networks (the implicit
+	// identifier), by replacing the wildcard SSID in each burst's probes.
+	preferred := []string{"home-net", "campus-wifi", "coffee-place"}
+	baseEvents := sim.WalkTrace(w, victim, total, scanInterval)
+	for i := range baseEvents {
+		f := baseEvents[i].Frame
+		if f.Subtype == dot11.SubtypeProbeRequest && f.Addr2 == victim.MAC {
+			clone := *f
+			clone.IEs = append([]dot11.IE(nil), f.IEs...)
+			for j, ie := range clone.IEs {
+				if ie.ID == dot11.EIDSSID {
+					ssid := preferred[int(f.Seq)%len(preferred)]
+					clone.IEs[j] = dot11.IE{ID: dot11.EIDSSID, Data: []byte(ssid)}
+				}
+			}
+			baseEvents[i].Frame = &clone
+		}
+	}
+
+	know := make(core.Knowledge, len(aps))
+	for _, ap := range aps {
+		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+	}
+	sn := sniffer.New(sniffer.Config{
+		Pos:   geom.Pt(0, 0),
+		Chain: rf.ChainLNA(),
+		Plan:  dot11.DefaultPlan(),
+	})
+
+	policies := []privacy.Policy{
+		privacy.NoDefense{},
+		privacy.WildcardProbes{},
+		privacy.MACRotation{PeriodSec: 120},
+		// Hygiene must precede rotation: WildcardProbes matches the true
+		// MAC, which rotation hides.
+		privacy.Chain{privacy.WildcardProbes{}, privacy.MACRotation{PeriodSec: 120}},
+		privacy.SilentPeriods{ActiveSec: 60, SilentSec: 120},
+		privacy.MixZone{Zones: []geom.Circle{
+			{C: geom.Pt(0, -200), R: 80}, {C: geom.Pt(0, 100), R: 80},
+		}},
+	}
+	for _, policy := range policies {
+		defended := policy.Apply(victim.MAC, baseEvents, w.RNG())
+		store := obs.NewStore()
+		for _, c := range sn.CaptureAll(defended) {
+			store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+		}
+		tracker := &core.Tracker{Know: know, Store: store, WindowSec: 45}
+
+		// The attacker tracks every non-AP identity it has pairwise
+		// records for; all of them are (pseudonyms of) the victim here.
+		fixes := 0
+		var errs []float64
+		identities := make(map[dot11.MAC]bool)
+		for dev := range store.DeviceAPSets() {
+			identities[dev] = true
+			points, err := tracker.Track(dev, 0, total, scanInterval)
+			if err != nil {
+				return t, fmt.Errorf("defenses track: %w", err)
+			}
+			for _, p := range points {
+				fixes++
+				errs = append(errs, core.Error(p.Est, route.PosAt(p.TimeSec)))
+			}
+		}
+		linked := len(store.LinkPseudonyms(0.6))
+		t.AddRow(policy.Name(), fixes, stats.Mean(errs), len(identities), linked)
+	}
+	return t, nil
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow(1, 2.34567)
+	tb.AddRow("s", 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "2.346") {
+		t.Errorf("rendered:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2.346") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tb, err := Fig2(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 30 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// CA monotone decreasing down the k column.
+	prev := 1e18
+	for _, row := range tb.Rows {
+		ca := parseF(t, row[1])
+		if ca >= prev {
+			t.Fatalf("CA not decreasing at k=%s", row[0])
+		}
+		prev = ca
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb, err := Fig3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseF(t, tb.Rows[0][2])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][2])
+	if last >= first {
+		t.Errorf("CA should fall as r grows at fixed density: %v -> %v", first, last)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb, err := Fig4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the largest cluster, centroid error must exceed m-loc error.
+	lastRow := tb.Rows[len(tb.Rows)-1]
+	if parseF(t, lastRow[1]) <= parseF(t, lastRow[2]) {
+		t.Errorf("biased centroid %s should exceed m-loc %s", lastRow[1], lastRow[2])
+	}
+	// Centroid error grows with cluster size.
+	if parseF(t, tb.Rows[0][1]) >= parseF(t, lastRow[1]) {
+		t.Error("centroid error should grow with cluster size")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tb, err := Fig5(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, row := range tb.Rows {
+		ca := parseF(t, row[1])
+		if ca <= prev {
+			t.Fatalf("area must grow with R: row %v", row)
+		}
+		prev = ca
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb, err := Fig6(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	for _, row := range tb.Rows {
+		p := parseF(t, row[1])
+		if p >= prev {
+			t.Fatalf("coverage must fall as R shrinks: row %v", row)
+		}
+		prev = p
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb, err := Fig8(600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last row is the 1+6+11 aggregate.
+	agg := tb.Rows[len(tb.Rows)-1]
+	frac := parseF(t, agg[2])
+	if frac < 0.88 || frac > 0.99 {
+		t.Errorf("1/6/11 fraction = %v, want ~0.937", frac)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tb, err := Fig9(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		ch := row[0]
+		frac := parseF(t, row[2])
+		if ch == "11" && frac != 1 {
+			t.Errorf("on-channel recognition = %v, want 1", frac)
+		}
+		if ch != "11" && frac > 0.1 {
+			t.Errorf("channel %s recognition = %v, want ~0", ch, frac)
+		}
+	}
+}
+
+func TestFigs10And11Shape(t *testing.T) {
+	tb, err := Figs10And11(80, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		pct := parseF(t, row[4])
+		pctA := parseF(t, row[5])
+		if pct < 50 {
+			t.Errorf("day %s: probing pct = %v, want > 50 (paper's floor)", row[0], pct)
+		}
+		if pctA < pct-1e-9 {
+			t.Errorf("active attack must not lower the probing pct: %v -> %v", pct, pctA)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tb, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii := map[string]float64{}
+	for _, row := range tb.Rows {
+		radii[row[0]] = parseF(t, row[2])
+	}
+	if !(radii["DLink"] < radii["SRC"] && radii["SRC"] < radii["HG2415U"] &&
+		radii["HG2415U"] <= radii["LNA"]) {
+		t.Errorf("urban coverage ordering wrong: %v", radii)
+	}
+	if radii["LNA"] < 500 || radii["LNA"] > 2500 {
+		t.Errorf("LNA urban radius = %v, want ~1 km", radii["LNA"])
+	}
+}
+
+// The campus run backs Figs 13-17; run it once at a reduced size and check
+// every headline shape the paper reports.
+func TestCampusRunShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campus experiment is a few seconds")
+	}
+	run, err := RunCampus(CampusConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) < 30 {
+		t.Fatalf("too few results: %d", len(run.Results))
+	}
+
+	f13, err := Fig13(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := f13.Rows[len(f13.Rows)-1]
+	mloc, aprad, cent := parseF(t, means[1]), parseF(t, means[2]), parseF(t, means[3])
+	if !(mloc < aprad) {
+		t.Errorf("M-Loc (%v) must beat AP-Rad (%v)", mloc, aprad)
+	}
+	if !(mloc < cent) {
+		t.Errorf("M-Loc (%v) must beat Centroid (%v)", mloc, cent)
+	}
+	if mloc > 25 {
+		t.Errorf("M-Loc mean error = %v m, paper ballpark is ~10 m", mloc)
+	}
+
+	f14, err := Fig14(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M-Loc error falls with k (paper Fig 14). Single top-k buckets hold
+	// few positions at this reduced experiment size, so compare the mean
+	// of the first three thresholds against the mean of the last three.
+	headTail := func(col int) (head, tail float64) {
+		n := len(f14.Rows)
+		span := 3
+		if span > n/2 {
+			span = n / 2
+		}
+		for i := 0; i < span; i++ {
+			head += parseF(t, f14.Rows[i][col])
+			tail += parseF(t, f14.Rows[n-1-i][col])
+		}
+		return head / float64(span), tail / float64(span)
+	}
+	head, tail := headTail(1)
+	if tail >= head {
+		t.Errorf("M-Loc error should fall with k: head %v -> tail %v", head, tail)
+	}
+
+	f15, err := Fig15(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AP-Rad area above M-Loc area at the lowest threshold.
+	if parseF(t, f15.Rows[0][2]) <= parseF(t, f15.Rows[0][1]) {
+		t.Errorf("AP-Rad area should exceed M-Loc area: %v", f15.Rows[0])
+	}
+
+	f16, err := Fig16(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M-Loc coverage 1.0 with true knowledge; AP-Rad strictly below.
+	if parseF(t, f16.Rows[0][1]) != 1 {
+		t.Errorf("M-Loc coverage = %v, want 1", f16.Rows[0][1])
+	}
+	if parseF(t, f16.Rows[0][2]) >= 1 {
+		t.Errorf("AP-Rad coverage should trail M-Loc: %v", f16.Rows[0])
+	}
+
+	f17, err := Fig17(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f17.Rows) < 4 {
+		t.Fatalf("fig17 rows = %d", len(f17.Rows))
+	}
+	// AP-Loc error decreases as training tuples grow (compare first vs
+	// last row).
+	if parseF(t, f17.Rows[len(f17.Rows)-1][1]) >= parseF(t, f17.Rows[0][1]) {
+		t.Errorf("AP-Loc error should fall with training size: %v -> %v",
+			f17.Rows[0][1], f17.Rows[len(f17.Rows)-1][1])
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import "testing"
+
+func rowByName(t *testing.T, tb Table, name string) []string {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if row[0] == name {
+			return row
+		}
+	}
+	t.Fatalf("row %q not found in %v", name, tb.Rows)
+	return nil
+}
+
+func TestDefenseEvaluationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defense evaluation runs the full pipeline several times")
+	}
+	tb, err := DefenseEvaluation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := rowByName(t, tb, "none")
+	rotation := rowByName(t, tb, "mac-rotation-120s")
+	combined := rowByName(t, tb, "wildcard-probes+mac-rotation-120s")
+	silent := rowByName(t, tb, "silent-periods-60/120s")
+
+	// No defence: a single identity fully tracked, no pseudonym links.
+	if parseF(t, none[3]) != 1 || parseF(t, none[4]) != 0 {
+		t.Errorf("baseline row = %v", none)
+	}
+	// Rotation multiplies identities but SSID fingerprints link them all —
+	// the paper's Pang-et-al. observation.
+	if parseF(t, rotation[3]) < 3 {
+		t.Errorf("rotation should create several identities: %v", rotation)
+	}
+	if parseF(t, rotation[4]) == 0 {
+		t.Errorf("rotation alone should be linkable: %v", rotation)
+	}
+	// Hygiene + rotation: identities remain, links vanish.
+	if parseF(t, combined[4]) != 0 {
+		t.Errorf("wildcard+rotation should not be linkable: %v", combined)
+	}
+	// Silent periods reduce the fixes obtained.
+	if parseF(t, silent[1]) >= parseF(t, none[1]) {
+		t.Errorf("silent periods should cut fixes: %v vs %v", silent[1], none[1])
+	}
+}
+
+func TestPositioningComparisonShapes(t *testing.T) {
+	tb, err := PositioningComparison(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := parseF(t, rowByName(t, tb, "rss-trilateration")[1])
+	fp := parseF(t, rowByName(t, tb, "rf-fingerprinting")[1])
+	ml := parseF(t, rowByName(t, tb, "mloc-set-only")[1])
+	// Under 4 dB shadowing the set-only attack is competitive with (here:
+	// better than) the RSS methods, and all of them are sane.
+	if ml > 30 {
+		t.Errorf("m-loc error = %v m", ml)
+	}
+	if tri < ml/2 {
+		t.Errorf("trilateration (%v) implausibly beats set-only (%v) under shadowing", tri, ml)
+	}
+	if fp <= 0 || tri <= 0 {
+		t.Errorf("degenerate errors: tri=%v fp=%v", tri, fp)
+	}
+}
+
+func TestAblationChannelPlansShapes(t *testing.T) {
+	tb, err := AblationChannelPlans(800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := parseF(t, rowByName(t, tb, "1-6-11")[2])
+	folk := parseF(t, rowByName(t, tb, "3-6-9")[2])
+	all := parseF(t, rowByName(t, tb, "all-11")[2])
+	if all != 1 {
+		t.Errorf("all-channel plan coverage = %v", all)
+	}
+	if main < 0.88 {
+		t.Errorf("1/6/11 coverage = %v, want ~0.93", main)
+	}
+	if folk >= main {
+		t.Errorf("folk plan (%v) must trail 1/6/11 (%v)", folk, main)
+	}
+}
+
+func TestAblationCentroidEstimatorsShapes(t *testing.T) {
+	tb, err := AblationCentroidEstimators(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vertex := parseF(t, rowByName(t, tb, "vertex")[1])
+	area := parseF(t, rowByName(t, tb, "area-mc")[1])
+	// The two estimators agree within a factor of two.
+	if vertex > 2*area || area > 2*vertex {
+		t.Errorf("estimators diverge: vertex %v vs area %v", vertex, area)
+	}
+}
+
+func TestAblationRadiusEstimatorsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a campus experiment")
+	}
+	tb, err := AblationRadiusEstimators(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := rowByName(t, tb, "fixed-lower-60")
+	upper := rowByName(t, tb, "fixed-upper-160")
+	lp := rowByName(t, tb, "ap-rad-lp")
+	trueRow := rowByName(t, tb, "true-radii")
+	// Theorem 3: the underestimate fails catastrophically.
+	if parseF(t, lower[2]) > 0.05 {
+		t.Errorf("fixed lower bound coverage = %v, want ~0", lower[2])
+	}
+	if parseF(t, lower[4]) == 0 {
+		t.Errorf("fixed lower bound should fail positions: %v", lower)
+	}
+	// The fixed overestimate covers but bloats the area versus AP-Rad.
+	if parseF(t, upper[2]) < 0.95 {
+		t.Errorf("fixed upper coverage = %v", upper[2])
+	}
+	if parseF(t, upper[3]) <= parseF(t, lp[3]) {
+		t.Errorf("fixed upper area (%v) should exceed AP-Rad's (%v)", upper[3], lp[3])
+	}
+	// True radii are the accuracy floor.
+	if parseF(t, trueRow[1]) > parseF(t, lp[1]) {
+		t.Errorf("true radii (%v) should beat LP estimates (%v)", trueRow[1], lp[1])
+	}
+}
+
+func TestFleetCoverageShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet coverage simulates a 5 km transect")
+	}
+	tb, err := FleetCoverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	one := parseF(t, tb.Rows[0][1])
+	two := parseF(t, tb.Rows[1][1])
+	if one >= 0.95 {
+		t.Errorf("one site should not cover the whole transect: %v", one)
+	}
+	if two <= one {
+		t.Errorf("two sites (%v) should beat one (%v)", two, one)
+	}
+	// Observed windows localize: the two fractions match per row.
+	for _, row := range tb.Rows {
+		if parseF(t, row[2]) > parseF(t, row[1])+1e-9 {
+			t.Errorf("localized cannot exceed observed: %v", row)
+		}
+	}
+}
+
+func TestAblationPropagationShapes(t *testing.T) {
+	tb, err := AblationPropagation(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sph := rowByName(t, tb, "spherical")
+	obs := rowByName(t, tb, "obstructed")
+	der := rowByName(t, tb, "derated-80pct")
+	// The worst-case guarantee: coverage stays 1.0 under every deviation.
+	for _, row := range [][]string{sph, obs, der} {
+		if parseF(t, row[2]) != 1 {
+			t.Errorf("%s coverage = %v, want 1 (worst-case guarantee)", row[0], row[2])
+		}
+	}
+	// Deviations shrink the observed set and cost accuracy.
+	if parseF(t, der[3]) >= parseF(t, sph[3]) {
+		t.Errorf("derating should shrink mean k: %v vs %v", der[3], sph[3])
+	}
+	if parseF(t, der[1]) <= parseF(t, sph[1]) {
+		t.Errorf("derating should cost accuracy: %v vs %v", der[1], sph[1])
+	}
+}

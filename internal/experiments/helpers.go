@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/dot11"
+)
+
+// dot11MAC aliases the MAC type to keep figure code terse.
+type dot11MAC = dot11.MAC
+
+// testMAC derives a MAC for synthetic scenario entities.
+func testMAC(i byte) dot11.MAC { return dot11.MAC{0x02, 0xEE, 0, 0, 0, i} }
+
+func cos(x float64) float64 { return math.Cos(x) }
+func sin(x float64) float64 { return math.Sin(x) }

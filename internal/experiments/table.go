@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section IV) from the reproduction's own components.
+// Each FigN function returns a Table whose rows are the series the paper
+// plots; cmd/benchfig prints them, and the repository-root benchmarks time
+// and sanity-check them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated figure or table: a titled grid of formatted
+// values.
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig13".
+	ID string `json:"id"`
+	// Title describes what the paper's figure shows.
+	Title string `json:"title"`
+	// Header names the columns.
+	Header []string `json:"header"`
+	// Rows holds the formatted data.
+	Rows [][]string `json:"rows"`
+	// Notes records paper-reported reference values for EXPERIMENTS.md.
+	Notes string `json:"notes,omitempty"`
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats with
+// four significant decimals.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, 0, len(vals))
+	for _, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", x))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/theory"
+)
+
+// Fig2 regenerates "Intersected Area vs Number of Communicable APs"
+// (Theorem 2, r = 1): the quadrature value for k = 1..30 with Monte-Carlo
+// cross-checks at selected k.
+func Fig2(mcTrials int, seed int64) (Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "Intersected area vs number of communicable APs (r=1)",
+		Header: []string{"k", "CA_theorem2", "CA_montecarlo", "k*CA"},
+		Notes:  "paper: CA roughly inversely proportional to k",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 1; k <= 30; k++ {
+		ca, err := theory.IntersectedArea(k, 1)
+		if err != nil {
+			return t, fmt.Errorf("fig2 k=%d: %w", k, err)
+		}
+		mc := ""
+		if k%5 == 0 || k == 1 {
+			v, err := theory.MonteCarloIntersectedArea(k, 1, 1, mcTrials, rng)
+			if err != nil {
+				return t, fmt.Errorf("fig2 mc k=%d: %w", k, err)
+			}
+			mc = fmt.Sprintf("%.4g", v)
+		}
+		t.AddRow(k, ca, mc, float64(k)*ca)
+	}
+	return t, nil
+}
+
+// Fig3 regenerates "Intersected Area vs Maximum Transmission Distance":
+// CA as a function of r at fixed AP density (Corollary 1: k = πr²ρ grows
+// with r, and CA decreases).
+func Fig3(rho float64) (Table, error) {
+	t := Table{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Intersected area vs maximum transmission distance (density=%.3g)", rho),
+		Header: []string{"r", "k=pi*r^2*rho", "CA"},
+		Notes:  "paper: CA decreases as transmission distance grows at fixed density",
+	}
+	for _, r := range []float64{0.6, 0.8, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0} {
+		ca, err := theory.IntersectedAreaForDensity(r, rho)
+		if err != nil {
+			return t, fmt.Errorf("fig3 r=%v: %w", r, err)
+		}
+		k := 3.14159265 * r * r * rho
+		t.AddRow(r, k, ca)
+	}
+	return t, nil
+}
+
+// Fig4 demonstrates the Centroid baseline's fragility under biased AP
+// distributions: 5 uniform APs plus a growing cluster, as in the paper's
+// example. Disc-intersection only gets more accurate as APs are added.
+func Fig4(seed int64) (Table, error) {
+	t := Table{
+		ID:     "fig4",
+		Title:  "Centroid vs disc-intersection under biased AP distribution",
+		Header: []string{"cluster_aps", "centroid_err_m", "mloc_err_m"},
+		Notes:  "paper: centroid degrades with cluster size, disc-intersection does not",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	truth := geom.Pt(0, 0)
+	r := 200.0
+	base := make([]core.APInfo, 0, 5)
+	for i := 0; i < 5; i++ {
+		ang := rng.Float64() * 6.283185307
+		d := rng.Float64() * r * 0.8
+		base = append(base, core.APInfo{
+			BSSID:    testMAC(byte(i + 1)),
+			Pos:      geom.Pt(truth.X+d*cos(ang), truth.Y+d*sin(ang)),
+			MaxRange: r,
+		})
+	}
+	for _, nCluster := range []int{0, 2, 5, 10, 20} {
+		infos := append([]core.APInfo(nil), base...)
+		for i := 0; i < nCluster; i++ {
+			infos = append(infos, core.APInfo{
+				BSSID:    testMAC(byte(50 + i)),
+				Pos:      geom.Pt(115+rng.Float64()*20, 115+rng.Float64()*20),
+				MaxRange: r,
+			})
+		}
+		k := core.NewKnowledge(infos)
+		gamma := make([]dot11MAC, 0, len(infos))
+		for _, in := range infos {
+			gamma = append(gamma, in.BSSID)
+		}
+		cent, err := core.CentroidBaseline(k, gamma)
+		if err != nil {
+			return t, fmt.Errorf("fig4 centroid: %w", err)
+		}
+		ml, err := core.MLoc(k, gamma)
+		if err != nil {
+			return t, fmt.Errorf("fig4 mloc: %w", err)
+		}
+		t.AddRow(nCluster, core.Error(cent, truth), core.Error(ml, truth))
+	}
+	return t, nil
+}
+
+// Fig5 regenerates "Intersected area vs estimated maximum transmission
+// distance" (Theorem 3, R ≥ r, k = 10, r = 1).
+func Fig5(mcTrials int, seed int64) (Table, error) {
+	t := Table{
+		ID:     "fig5",
+		Title:  "Intersected area vs overestimated transmission distance (k=10, r=1)",
+		Header: []string{"R", "CA_theorem3", "CA_montecarlo"},
+		Notes:  "paper: area grows rapidly with the overestimate R",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, r := range []float64{1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0} {
+		ca, err := theory.OverestimatedArea(10, 1, r)
+		if err != nil {
+			return t, fmt.Errorf("fig5 R=%v: %w", r, err)
+		}
+		mc, err := theory.MonteCarloIntersectedArea(10, 1, r, mcTrials, rng)
+		if err != nil {
+			return t, fmt.Errorf("fig5 mc R=%v: %w", r, err)
+		}
+		t.AddRow(r, ca, mc)
+	}
+	return t, nil
+}
+
+// Fig6 regenerates "Coverage probability vs underestimated transmission
+// distance" (Theorem 3, R < r, k = 10): p = (R/r)^{2k}.
+func Fig6(mcTrials int, seed int64) (Table, error) {
+	t := Table{
+		ID:     "fig6",
+		Title:  "Coverage probability vs underestimated transmission distance (k=10, r=1)",
+		Header: []string{"R", "p_closed", "p_montecarlo"},
+		Notes:  "paper: probability collapses quickly once R < r",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, r := range []float64{0.99, 0.95, 0.9, 0.8, 0.7, 0.5} {
+		p, err := theory.UnderestimateCoverage(10, 1, r)
+		if err != nil {
+			return t, fmt.Errorf("fig6 R=%v: %w", r, err)
+		}
+		mc, err := theory.MonteCarloCoverage(10, 1, r, mcTrials, rng)
+		if err != nil {
+			return t, fmt.Errorf("fig6 mc R=%v: %w", r, err)
+		}
+		t.AddRow(r, p, mc)
+	}
+	return t, nil
+}

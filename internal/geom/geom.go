@@ -1,0 +1,226 @@
+// Package geom implements the planar geometry the Marauder's map
+// localization algorithms are built on: circles, disc intersections,
+// intersection-region vertex enumeration, and area computation.
+//
+// All coordinates are in a local Cartesian plane (metres). Conversion from
+// geodetic coordinates lives in package geo.
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for geometric predicates. Distances below Eps
+// metres are considered zero.
+const Eps = 1e-9
+
+// Point is a location in the local 2D plane, in metres.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{X: p.X * s, Y: p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Circle is a circle (and, where context requires, the closed disc it
+// bounds) with centre C and radius R, in metres.
+type Circle struct {
+	C Point   `json:"center"`
+	R float64 `json:"radius"`
+}
+
+// ErrNoIntersection is returned by operations that require a non-empty
+// intersection region when the region is empty.
+var ErrNoIntersection = errors.New("geom: empty intersection region")
+
+// Contains reports whether p lies inside the closed disc (within Eps).
+func (c Circle) Contains(p Point) bool {
+	return c.C.Dist(p) <= c.R+Eps
+}
+
+// Area returns the disc area πR².
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// Intersect returns the intersection points of the two circle boundaries.
+// The result has zero points when the circles are disjoint or one strictly
+// contains the other, one point when they are tangent, and two otherwise.
+// Coincident circles yield zero points.
+func (c Circle) Intersect(o Circle) []Point {
+	d := c.C.Dist(o.C)
+	switch {
+	case d < Eps:
+		// Concentric (possibly coincident): boundaries share either no
+		// points or infinitely many; report none.
+		return nil
+	case d > c.R+o.R+Eps:
+		return nil // disjoint
+	case d < math.Abs(c.R-o.R)-Eps:
+		return nil // one strictly inside the other
+	}
+	// a is the distance from c.C to the chord's foot along the centre line.
+	a := (d*d + c.R*c.R - o.R*o.R) / (2 * d)
+	h2 := c.R*c.R - a*a
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	ux := (o.C.X - c.C.X) / d
+	uy := (o.C.Y - c.C.Y) / d
+	foot := Point{X: c.C.X + a*ux, Y: c.C.Y + a*uy}
+	if h < Eps {
+		return []Point{foot} // tangent
+	}
+	return []Point{
+		{X: foot.X + h*uy, Y: foot.Y - h*ux},
+		{X: foot.X - h*uy, Y: foot.Y + h*ux},
+	}
+}
+
+// LensArea returns the area of the intersection of the two closed discs
+// (the classic "lens" formula). It is 0 for disjoint discs and the area of
+// the smaller disc when one contains the other.
+func (c Circle) LensArea(o Circle) float64 {
+	d := c.C.Dist(o.C)
+	if d >= c.R+o.R {
+		return 0
+	}
+	rMin := math.Min(c.R, o.R)
+	if d <= math.Abs(c.R-o.R) {
+		return math.Pi * rMin * rMin
+	}
+	r1, r2 := c.R, o.R
+	// Clamp acos arguments against floating-point drift.
+	a1 := clampUnit((d*d + r1*r1 - r2*r2) / (2 * d * r1))
+	a2 := clampUnit((d*d + r2*r2 - r1*r1) / (2 * d * r2))
+	term := (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)
+	if term < 0 {
+		term = 0
+	}
+	return r1*r1*math.Acos(a1) + r2*r2*math.Acos(a2) - 0.5*math.Sqrt(term)
+}
+
+func clampUnit(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// Centroid returns the arithmetic mean of the points. It returns an error
+// for an empty input.
+func Centroid(pts []Point) (Point, error) {
+	if len(pts) == 0 {
+		return Point{}, errors.New("geom: centroid of empty point set")
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{X: sx / n, Y: sy / n}, nil
+}
+
+// InAllDiscs reports whether p lies inside every closed disc in discs.
+func InAllDiscs(p Point, discs []Circle) bool {
+	for _, d := range discs {
+		if !d.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// RegionVertices enumerates the vertex set Δ the paper's M-Loc algorithm
+// uses: all pairwise circle-circle intersection points that lie inside every
+// disc. For a single disc — where no pairwise intersections exist — the disc
+// centre is returned so that the intersection region degenerates gracefully
+// to the nearest-AP estimate, matching the paper's observation that with
+// k = 1 disc-intersection reduces to the nearest-AP approach.
+func RegionVertices(discs []Circle) []Point {
+	switch len(discs) {
+	case 0:
+		return nil
+	case 1:
+		return []Point{discs[0].C}
+	}
+	var verts []Point
+	for i := 0; i < len(discs); i++ {
+		for j := i + 1; j < len(discs); j++ {
+			for _, p := range discs[i].Intersect(discs[j]) {
+				if InAllDiscs(p, discs) {
+					verts = append(verts, p)
+				}
+			}
+		}
+	}
+	if len(verts) > 0 {
+		return verts
+	}
+	// No boundary vertices inside all discs. Either the region is empty, or
+	// one disc is contained in all others (region == smallest disc). Detect
+	// the latter: the centre of the smallest disc must be inside all discs.
+	smallest := 0
+	for i, d := range discs {
+		if d.R < discs[smallest].R {
+			smallest = i
+		}
+	}
+	if InAllDiscs(discs[smallest].C, discs) {
+		return []Point{discs[smallest].C}
+	}
+	return nil
+}
+
+// BoundingBox returns the axis-aligned bounding box of the intersection of
+// the discs (the intersection of the per-disc boxes). ok is false when the
+// box is empty.
+func BoundingBox(discs []Circle) (minP, maxP Point, ok bool) {
+	if len(discs) == 0 {
+		return Point{}, Point{}, false
+	}
+	minP = Point{X: math.Inf(-1), Y: math.Inf(-1)}
+	maxP = Point{X: math.Inf(1), Y: math.Inf(1)}
+	for _, d := range discs {
+		minP.X = math.Max(minP.X, d.C.X-d.R)
+		minP.Y = math.Max(minP.Y, d.C.Y-d.R)
+		maxP.X = math.Min(maxP.X, d.C.X+d.R)
+		maxP.Y = math.Min(maxP.Y, d.C.Y+d.R)
+	}
+	if minP.X > maxP.X || minP.Y > maxP.Y {
+		return Point{}, Point{}, false
+	}
+	return minP, maxP, true
+}

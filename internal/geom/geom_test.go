@@ -1,0 +1,362 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(4, 6)
+	if got := p.Dist(q); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(q); !almostEq(got, 25, 1e-12) {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := p.Add(q); got != Pt(5, 8) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != Pt(3, 4) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Pt(3, 4).Norm(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestCircleIntersect(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Circle
+		nWant  int
+		onBoth bool
+	}{
+		{"disjoint", Circle{Pt(0, 0), 1}, Circle{Pt(5, 0), 1}, 0, false},
+		{"contained", Circle{Pt(0, 0), 5}, Circle{Pt(0.5, 0), 1}, 0, false},
+		{"tangentExt", Circle{Pt(0, 0), 1}, Circle{Pt(2, 0), 1}, 1, true},
+		{"tangentInt", Circle{Pt(0, 0), 2}, Circle{Pt(1, 0), 1}, 1, true},
+		{"twoPoints", Circle{Pt(0, 0), 1}, Circle{Pt(1, 0), 1}, 2, true},
+		{"concentric", Circle{Pt(0, 0), 1}, Circle{Pt(0, 0), 1}, 0, false},
+		{"offsetTwo", Circle{Pt(-3, 4), 5}, Circle{Pt(3, -4), 7}, 2, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pts := tt.a.Intersect(tt.b)
+			if len(pts) != tt.nWant {
+				t.Fatalf("got %d points, want %d (%v)", len(pts), tt.nWant, pts)
+			}
+			if tt.onBoth {
+				for _, p := range pts {
+					if !almostEq(tt.a.C.Dist(p), tt.a.R, 1e-6) {
+						t.Errorf("point %v not on circle a", p)
+					}
+					if !almostEq(tt.b.C.Dist(p), tt.b.R, 1e-6) {
+						t.Errorf("point %v not on circle b", p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCircleIntersectSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Circle{Pt(rng.Float64()*10, rng.Float64()*10), rng.Float64()*5 + 0.1}
+		b := Circle{Pt(rng.Float64()*10, rng.Float64()*10), rng.Float64()*5 + 0.1}
+		pa, pb := a.Intersect(b), b.Intersect(a)
+		if len(pa) != len(pb) {
+			t.Fatalf("asymmetric intersection count: %d vs %d", len(pa), len(pb))
+		}
+	}
+}
+
+func TestLensArea(t *testing.T) {
+	a := Circle{Pt(0, 0), 1}
+	tests := []struct {
+		name string
+		b    Circle
+		want float64
+	}{
+		{"coincident", Circle{Pt(0, 0), 1}, math.Pi},
+		{"disjoint", Circle{Pt(3, 0), 1}, 0},
+		{"contained", Circle{Pt(0.2, 0), 0.5}, math.Pi * 0.25},
+		// Two unit circles at distance 1: lens area = 2π/3 - √3/2.
+		{"unitPair", Circle{Pt(1, 0), 1}, 2*math.Pi/3 - math.Sqrt(3)/2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.LensArea(tt.b); !almostEq(got, tt.want, 1e-9) {
+				t.Errorf("LensArea = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLensAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		a := Circle{Pt(rng.Float64()*4, rng.Float64()*4), rng.Float64()*3 + 0.5}
+		b := Circle{Pt(rng.Float64()*4, rng.Float64()*4), rng.Float64()*3 + 0.5}
+		exact := a.LensArea(b)
+		mc := MonteCarloArea([]Circle{a, b}, 200000, rng)
+		tol := 0.03*exact + 0.05
+		if !almostEq(exact, mc, tol) {
+			t.Errorf("lens %v vs %v: exact %.4f mc %.4f", a, b, exact, mc)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if _, err := Centroid(nil); err == nil {
+		t.Error("expected error for empty centroid")
+	}
+	c, err := Centroid([]Point{Pt(0, 0), Pt(2, 0), Pt(0, 2), Pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != Pt(1, 1) {
+		t.Errorf("centroid = %v, want (1,1)", c)
+	}
+}
+
+func TestRegionVertices(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if v := RegionVertices(nil); v != nil {
+			t.Errorf("got %v", v)
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		v := RegionVertices([]Circle{{Pt(3, 4), 2}})
+		if len(v) != 1 || v[0] != Pt(3, 4) {
+			t.Errorf("single disc should return centre, got %v", v)
+		}
+	})
+	t.Run("pair", func(t *testing.T) {
+		v := RegionVertices([]Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}})
+		if len(v) != 2 {
+			t.Fatalf("want 2 vertices, got %v", v)
+		}
+		for _, p := range v {
+			if !almostEq(p.X, 0.5, 1e-9) {
+				t.Errorf("vertex %v should lie on x=0.5", p)
+			}
+		}
+	})
+	t.Run("disjointEmpty", func(t *testing.T) {
+		v := RegionVertices([]Circle{{Pt(0, 0), 1}, {Pt(10, 0), 1}})
+		if len(v) != 0 {
+			t.Errorf("disjoint discs must give empty region, got %v", v)
+		}
+	})
+	t.Run("containedDisc", func(t *testing.T) {
+		v := RegionVertices([]Circle{{Pt(0, 0), 10}, {Pt(1, 1), 1}})
+		if len(v) != 1 || v[0] != Pt(1, 1) {
+			t.Errorf("contained disc should return its centre, got %v", v)
+		}
+	})
+	t.Run("verticesInsideAll", func(t *testing.T) {
+		discs := []Circle{{Pt(0, 0), 2}, {Pt(1, 0), 2}, {Pt(0.5, 1), 2}}
+		for _, p := range RegionVertices(discs) {
+			if !InAllDiscs(p, discs) {
+				t.Errorf("vertex %v outside some disc", p)
+			}
+		}
+	})
+}
+
+// The true location is always inside the region when all discs genuinely
+// cover it — the paper's key guarantee for M-Loc with accurate knowledge.
+func TestRegionContainsTruthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := Pt(rng.Float64()*100, rng.Float64()*100)
+		k := rng.Intn(8) + 2
+		discs := make([]Circle, 0, k)
+		for i := 0; i < k; i++ {
+			r := rng.Float64()*80 + 20
+			// AP placed within r of the truth, so its disc covers truth.
+			ang := rng.Float64() * 2 * math.Pi
+			d := rng.Float64() * r
+			ap := Pt(truth.X+d*math.Cos(ang), truth.Y+d*math.Sin(ang))
+			discs = append(discs, Circle{ap, r})
+		}
+		if !InAllDiscs(truth, discs) {
+			return false
+		}
+		// Region must be non-empty: it contains the truth.
+		verts := RegionVertices(discs)
+		return len(verts) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionAreaSimpleCases(t *testing.T) {
+	if got := IntersectionArea(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	one := Circle{Pt(0, 0), 2}
+	if got := IntersectionArea([]Circle{one}); !almostEq(got, one.Area(), 1e-9) {
+		t.Errorf("single = %v, want %v", got, one.Area())
+	}
+	pair := []Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}}
+	want := 2*math.Pi/3 - math.Sqrt(3)/2
+	if got := IntersectionArea(pair); !almostEq(got, want, 1e-9) {
+		t.Errorf("pair = %v, want %v", got, want)
+	}
+	disjoint := []Circle{{Pt(0, 0), 1}, {Pt(5, 0), 1}, {Pt(0, 5), 1}}
+	if got := IntersectionArea(disjoint); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+}
+
+func TestIntersectionAreaContained(t *testing.T) {
+	discs := []Circle{{Pt(0, 0), 10}, {Pt(0.5, 0), 9}, {Pt(1, 1), 1}}
+	want := math.Pi
+	if got := IntersectionArea(discs); !almostEq(got, want, 1e-9) {
+		t.Errorf("contained small disc: got %v, want %v", got, want)
+	}
+}
+
+func TestIntersectionAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := 0
+	for i := 0; i < 120 && cases < 30; i++ {
+		k := rng.Intn(5) + 3
+		discs := make([]Circle, 0, k)
+		for j := 0; j < k; j++ {
+			discs = append(discs, Circle{
+				C: Pt(rng.Float64()*3, rng.Float64()*3),
+				R: rng.Float64()*2 + 1.5,
+			})
+		}
+		exact := IntersectionArea(discs)
+		if exact < 0.1 {
+			continue // skip tiny/empty regions: relative MC error explodes
+		}
+		cases++
+		mc := MonteCarloArea(discs, 150000, rng)
+		if !almostEq(exact, mc, 0.05*exact+0.02) {
+			t.Errorf("discs %v: exact %.5f, mc %.5f", discs, exact, mc)
+		}
+	}
+	if cases < 10 {
+		t.Fatalf("only %d usable random cases", cases)
+	}
+}
+
+func TestIntersectionAreaNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(6) + 1
+		discs := make([]Circle, 0, k)
+		for j := 0; j < k; j++ {
+			discs = append(discs, Circle{
+				C: Pt(rng.Float64()*10-5, rng.Float64()*10-5),
+				R: rng.Float64()*4 + 0.1,
+			})
+		}
+		a := IntersectionArea(discs)
+		if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return false
+		}
+		// Area can never exceed the smallest disc.
+		minA := math.Inf(1)
+		for _, d := range discs {
+			if da := d.Area(); da < minA {
+				minA = da
+			}
+		}
+		return a <= minA+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adding a disc can only shrink the region — the monotonicity the paper
+// relies on ("the intersected area can only shrink instead of grow").
+func TestIntersectionAreaMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(4) + 2
+		discs := make([]Circle, 0, k+1)
+		for j := 0; j < k; j++ {
+			discs = append(discs, Circle{
+				C: Pt(rng.Float64()*2, rng.Float64()*2),
+				R: rng.Float64()*2 + 1,
+			})
+		}
+		before := IntersectionArea(discs)
+		extra := Circle{C: Pt(rng.Float64()*2, rng.Float64()*2), R: rng.Float64()*2 + 1}
+		after := IntersectionArea(append(discs, extra))
+		return after <= before+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if _, _, ok := BoundingBox(nil); ok {
+		t.Error("empty input should have no box")
+	}
+	minP, maxP, ok := BoundingBox([]Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}})
+	if !ok {
+		t.Fatal("expected box")
+	}
+	if minP != Pt(0, -1) || maxP != Pt(1, 1) {
+		t.Errorf("box = %v..%v", minP, maxP)
+	}
+	if _, _, ok := BoundingBox([]Circle{{Pt(0, 0), 1}, {Pt(10, 0), 1}}); ok {
+		t.Error("disjoint discs should have empty box")
+	}
+}
+
+func TestRegionCentroidMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	discs := []Circle{{Pt(0, 0), 1}, {Pt(1, 0), 1}}
+	c, ok := RegionCentroidMC(discs, 100000, rng)
+	if !ok {
+		t.Fatal("region should be non-empty")
+	}
+	if !almostEq(c.X, 0.5, 0.01) || !almostEq(c.Y, 0, 0.01) {
+		t.Errorf("lens centroid = %v, want (0.5, 0)", c)
+	}
+	if _, ok := RegionCentroidMC([]Circle{{Pt(0, 0), 1}, {Pt(9, 0), 1}}, 1000, rng); ok {
+		t.Error("disjoint region should report !ok")
+	}
+}
+
+func BenchmarkIntersectionArea(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	discs := make([]Circle, 10)
+	for i := range discs {
+		discs[i] = Circle{Pt(rng.Float64(), rng.Float64()), 2 + rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectionArea(discs)
+	}
+}
+
+func BenchmarkRegionVertices(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	discs := make([]Circle, 15)
+	for i := range discs {
+		discs[i] = Circle{Pt(rng.Float64()*50, rng.Float64()*50), 100 + rng.Float64()*50}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RegionVertices(discs)
+	}
+}

@@ -1,0 +1,360 @@
+// Package lp implements a dense two-phase simplex solver for small linear
+// programs. The Marauder's map AP-Rad algorithm uses it to estimate AP
+// maximum transmission distances: maximize Σ r_j subject to pairwise
+// co-observation constraints r_i + r_j ≥ d_ij (or < d_ij) and box bounds.
+//
+// The solver handles ≤, ≥ and = constraints over non-negative variables and
+// uses Bland's rule, so it cannot cycle.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is a constraint comparison operator.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // Σ a_j x_j ≤ b
+	GE                     // Σ a_j x_j ≥ b
+	EQ                     // Σ a_j x_j = b
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is one linear constraint over the problem variables.
+type Constraint struct {
+	// Coeffs holds one coefficient per variable (dense).
+	Coeffs []float64
+	Rel    Relation
+	// B is the right-hand side.
+	B float64
+}
+
+// Problem is a linear program: maximize Objective·x subject to Constraints
+// and x ≥ 0.
+type Problem struct {
+	// Objective holds the coefficient of each variable in the function to
+	// maximize.
+	Objective []float64
+	// Constraints are the linear constraints.
+	Constraints []Constraint
+}
+
+// Solver errors.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: objective is unbounded")
+)
+
+const (
+	tol      = 1e-9
+	maxIters = 200000
+)
+
+// Solve maximizes the problem and returns the optimal variable assignment
+// and objective value. It returns ErrInfeasible when no assignment satisfies
+// the constraints and ErrUnbounded when the objective can grow without
+// limit.
+func Solve(p Problem) ([]float64, float64, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return nil, 0, errors.New("lp: no variables")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, 0, fmt.Errorf("lp: constraint %d has %d coefficients, want %d",
+				i, len(c.Coeffs), n)
+		}
+		switch c.Rel {
+		case LE, GE, EQ:
+		default:
+			return nil, 0, fmt.Errorf("lp: constraint %d has invalid relation", i)
+		}
+	}
+
+	t := newTableau(p)
+	if err := t.phase1(); err != nil {
+		return nil, 0, err
+	}
+	if err := t.phase2(); err != nil {
+		return nil, 0, err
+	}
+	x := t.solution(n)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// tableau is a standard-form simplex tableau. Columns: n structural
+// variables, then slack/surplus variables, then artificial variables, then
+// the RHS column.
+type tableau struct {
+	m, n     int       // constraint count, structural variable count
+	nSlack   int       // slack/surplus count
+	nArt     int       // artificial count
+	rows     []float64 // (m+1) x width matrix, last row is objective
+	width    int
+	basis    []int // basic variable per row
+	artStart int   // column index of first artificial
+	costs    []float64
+}
+
+func newTableau(p Problem) *tableau {
+	m := len(p.Constraints)
+	n := len(p.Objective)
+
+	// Normalize rows to b >= 0.
+	type row struct {
+		a   []float64
+		rel Relation
+		b   float64
+	}
+	rows := make([]row, m)
+	for i, c := range p.Constraints {
+		a := make([]float64, n)
+		copy(a, c.Coeffs)
+		b := c.B
+		rel := c.Rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row{a: a, rel: rel, b: b}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		switch r.rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	width := n + nSlack + nArt + 1
+	t := &tableau{
+		m:        m,
+		n:        n,
+		nSlack:   nSlack,
+		nArt:     nArt,
+		width:    width,
+		rows:     make([]float64, (m+1)*width),
+		basis:    make([]int, m),
+		artStart: n + nSlack,
+		costs:    make([]float64, n),
+	}
+	copy(t.costs, p.Objective)
+
+	slackCol := n
+	artCol := t.artStart
+	for i, r := range rows {
+		base := i * width
+		copy(t.rows[base:base+n], r.a)
+		t.rows[base+width-1] = r.b
+		switch r.rel {
+		case LE:
+			t.rows[base+slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.rows[base+slackCol] = -1 // surplus
+			slackCol++
+			t.rows[base+artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.rows[base+artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+func (t *tableau) at(i, j int) float64 { return t.rows[i*t.width+j] }
+
+// pivot performs a Gauss-Jordan pivot on (pr, pc).
+func (t *tableau) pivot(pr, pc int) {
+	pv := t.at(pr, pc)
+	inv := 1.0 / pv
+	base := pr * t.width
+	for j := 0; j < t.width; j++ {
+		t.rows[base+j] *= inv
+	}
+	for i := 0; i <= t.m; i++ {
+		if i == pr {
+			continue
+		}
+		f := t.at(i, pc)
+		if f == 0 {
+			continue
+		}
+		rb := i * t.width
+		for j := 0; j < t.width; j++ {
+			t.rows[rb+j] -= f * t.rows[base+j]
+		}
+	}
+	t.basis[pr] = pc
+}
+
+// runSimplex iterates simplex pivots on the current objective row (row m),
+// maximizing, with Bland's rule. cols limits eligible entering columns.
+func (t *tableau) runSimplex(cols int) error {
+	for iter := 0; iter < maxIters; iter++ {
+		// Entering column: smallest index with positive reduced cost
+		// (we keep the objective row as reduced costs for maximization).
+		pc := -1
+		for j := 0; j < cols; j++ {
+			if t.at(t.m, j) > tol {
+				pc = j
+				break
+			}
+		}
+		if pc == -1 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio, Bland tie-break on basis index.
+		pr := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.at(i, pc)
+			if a > tol {
+				ratio := t.at(i, t.width-1) / a
+				if ratio < best-tol || (math.Abs(ratio-best) <= tol &&
+					(pr == -1 || t.basis[i] < t.basis[pr])) {
+					best = ratio
+					pr = i
+				}
+			}
+		}
+		if pr == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(pr, pc)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// phase1 drives artificial variables to zero.
+func (t *tableau) phase1() error {
+	if t.nArt == 0 {
+		return nil
+	}
+	// Phase-1 objective: maximize −Σ artificials. Build the reduced-cost
+	// row: start from −1 on artificial columns and add back the basic rows
+	// containing artificials.
+	objBase := t.m * t.width
+	for j := 0; j < t.width; j++ {
+		t.rows[objBase+j] = 0
+	}
+	for j := t.artStart; j < t.artStart+t.nArt; j++ {
+		t.rows[objBase+j] = -1
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.artStart {
+			rb := i * t.width
+			for j := 0; j < t.width; j++ {
+				t.rows[objBase+j] += t.rows[rb+j]
+			}
+		}
+	}
+	if err := t.runSimplex(t.width - 1); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase-1 objective is bounded by construction; treat as internal.
+			return errors.New("lp: internal: unbounded phase 1")
+		}
+		return err
+	}
+	// The objective row's RHS holds the negated phase-1 value, i.e.
+	// Σ artificials at the optimum; infeasible if it stays positive.
+	if v := t.at(t.m, t.width-1); v > 1e-6 {
+		return ErrInfeasible
+	}
+	// Pivot any artificial still in the basis (at zero level) out.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		done := false
+		for j := 0; j < t.artStart && !done; j++ {
+			if math.Abs(t.at(i, j)) > tol {
+				t.pivot(i, j)
+				done = true
+			}
+		}
+		// If the row is all zeros over structural+slack columns the
+		// constraint is redundant; leave the artificial basic at zero.
+	}
+	return nil
+}
+
+// phase2 optimizes the real objective over structural and slack columns.
+func (t *tableau) phase2() error {
+	objBase := t.m * t.width
+	for j := 0; j < t.width; j++ {
+		t.rows[objBase+j] = 0
+	}
+	for j := 0; j < t.n; j++ {
+		t.rows[objBase+j] = t.costs[j]
+	}
+	// Reduce against the current basis.
+	for i := 0; i < t.m; i++ {
+		b := t.basis[i]
+		if b < t.n && t.costs[b] != 0 {
+			f := t.at(t.m, b)
+			if f == 0 {
+				continue
+			}
+			rb := i * t.width
+			for j := 0; j < t.width; j++ {
+				t.rows[objBase+j] -= f * t.rows[rb+j]
+			}
+		}
+	}
+	// Exclude artificial columns from entering.
+	return t.runSimplex(t.artStart)
+}
+
+func (t *tableau) solution(n int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < t.m; i++ {
+		if b := t.basis[i]; b < n {
+			x[b] = t.at(i, t.width-1)
+			if x[b] < 0 && x[b] > -1e-7 {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,304 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p Problem) ([]float64, float64) {
+	t.Helper()
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return x, obj
+}
+
+func TestSolveBasicMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, B: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, B: 6},
+		},
+	}
+	x, obj := solveOK(t, p)
+	if math.Abs(obj-12) > 1e-8 {
+		t.Errorf("obj = %v, want 12", obj)
+	}
+	if math.Abs(x[0]-4) > 1e-8 || math.Abs(x[1]) > 1e-8 {
+		t.Errorf("x = %v, want [4 0]", x)
+	}
+}
+
+func TestSolveClassicTwoVar(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+	p := Problem{
+		Objective: []float64{5, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{6, 4}, Rel: LE, B: 24},
+			{Coeffs: []float64{1, 2}, Rel: LE, B: 6},
+		},
+	}
+	x, obj := solveOK(t, p)
+	if math.Abs(obj-21) > 1e-8 {
+		t.Errorf("obj = %v, want 21", obj)
+	}
+	if math.Abs(x[0]-3) > 1e-8 || math.Abs(x[1]-1.5) > 1e-8 {
+		t.Errorf("x = %v, want [3 1.5]", x)
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// max x + y s.t. x + y <= 10, x >= 3, y >= 2 -> obj 10.
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, B: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, B: 3},
+			{Coeffs: []float64{0, 1}, Rel: GE, B: 2},
+		},
+	}
+	x, obj := solveOK(t, p)
+	if math.Abs(obj-10) > 1e-8 {
+		t.Errorf("obj = %v, want 10", obj)
+	}
+	if x[0] < 3-1e-8 || x[1] < 2-1e-8 {
+		t.Errorf("x = %v violates lower bounds", x)
+	}
+}
+
+func TestSolveWithEQ(t *testing.T) {
+	// max 2x + y s.t. x + y = 5, x <= 3 -> x=3, y=2, obj=8.
+	p := Problem{
+		Objective: []float64{2, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, B: 5},
+			{Coeffs: []float64{1, 0}, Rel: LE, B: 3},
+		},
+	}
+	x, obj := solveOK(t, p)
+	if math.Abs(obj-8) > 1e-8 {
+		t.Errorf("obj = %v, want 8", obj)
+	}
+	if math.Abs(x[0]+x[1]-5) > 1e-8 {
+		t.Errorf("equality violated: %v", x)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// max x s.t. -x <= -2 (i.e. x >= 2), x <= 7.
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, B: -2},
+			{Coeffs: []float64{1}, Rel: LE, B: 7},
+		},
+	}
+	x, obj := solveOK(t, p)
+	if math.Abs(obj-7) > 1e-8 || math.Abs(x[0]-7) > 1e-8 {
+		t.Errorf("x=%v obj=%v, want 7", x, obj)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, B: 5},
+			{Coeffs: []float64{1}, Rel: LE, B: 3},
+		},
+	}
+	if _, _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Rel: LE, B: 1},
+		},
+	}
+	if _, _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: several constraints meet at the optimum. Bland's
+	// rule must terminate.
+	p := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, B: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, B: 1},
+			{Coeffs: []float64{1, 1}, Rel: LE, B: 2},
+			{Coeffs: []float64{2, 1}, Rel: LE, B: 3},
+			{Coeffs: []float64{1, 2}, Rel: LE, B: 3},
+		},
+	}
+	_, obj := solveOK(t, p)
+	if math.Abs(obj-2) > 1e-8 {
+		t.Errorf("obj = %v, want 2", obj)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve(Problem{}); err == nil {
+		t.Error("want error for empty problem")
+	}
+	p := Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, B: 1}},
+	}
+	if _, _, err := Solve(p); err == nil {
+		t.Error("want error for coefficient length mismatch")
+	}
+	p = Problem{
+		Objective:   []float64{1},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: 0, B: 1}},
+	}
+	if _, _, err := Solve(p); err == nil {
+		t.Error("want error for invalid relation")
+	}
+}
+
+// APRadShape mirrors the AP-Rad use: maximize sum of radii with pairwise
+// sum constraints.
+func TestSolveAPRadShape(t *testing.T) {
+	// Three APs on a line at 0, 10, 25. AP pairs (0,1) co-observed:
+	// r0+r1 >= 10. Pair (1,2) co-observed: r1+r2 >= 15. Pair (0,2) never:
+	// r0+r2 <= 25. Box: r_i <= 20.
+	p := Problem{
+		Objective: []float64{1, 1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 0}, Rel: GE, B: 10},
+			{Coeffs: []float64{0, 1, 1}, Rel: GE, B: 15},
+			{Coeffs: []float64{1, 0, 1}, Rel: LE, B: 25},
+			{Coeffs: []float64{1, 0, 0}, Rel: LE, B: 20},
+			{Coeffs: []float64{0, 1, 0}, Rel: LE, B: 20},
+			{Coeffs: []float64{0, 0, 1}, Rel: LE, B: 20},
+		},
+	}
+	x, _ := solveOK(t, p)
+	if x[0]+x[1] < 10-1e-6 || x[1]+x[2] < 15-1e-6 || x[0]+x[2] > 25+1e-6 {
+		t.Errorf("constraints violated: %v", x)
+	}
+	for i, v := range x {
+		if v < -1e-9 || v > 20+1e-6 {
+			t.Errorf("x[%d] = %v out of box", i, v)
+		}
+	}
+}
+
+// Random LPs: the returned point must satisfy all constraints, and the
+// objective must be at least that of any random feasible point we can find
+// (optimality lower-bound check).
+func TestSolveFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		m := rng.Intn(5) + 1
+		p := Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 2
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, B: rng.Float64()*10 + 1}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = rng.Float64() * 3
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// All-LE with positive b: feasible (x=0) and bounded unless a
+		// variable has all-zero column and positive cost; coefficients are
+		// positive with probability 1, so bounded.
+		x, obj, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		for _, c := range p.Constraints {
+			s := 0.0
+			for j := range x {
+				s += c.Coeffs[j] * x[j]
+			}
+			if s > c.B+1e-6 {
+				return false
+			}
+		}
+		// Compare against random feasible points: none may beat the optimum.
+		for trial := 0; trial < 50; trial++ {
+			y := make([]float64, n)
+			for j := range y {
+				y[j] = rng.Float64() * 5
+			}
+			feas := true
+			for _, c := range p.Constraints {
+				s := 0.0
+				for j := range y {
+					s += c.Coeffs[j] * y[j]
+				}
+				if s > c.B {
+					feas = false
+					break
+				}
+			}
+			if !feas {
+				continue
+			}
+			yObj := 0.0
+			for j := range y {
+				yObj += p.Objective[j] * y[j]
+			}
+			if yObj > obj+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("relation strings wrong")
+	}
+	if Relation(9).String() != "Relation(9)" {
+		t.Error("unknown relation string wrong")
+	}
+}
+
+func BenchmarkSolveAPRad50(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50
+	p := Problem{Objective: make([]float64, n)}
+	for j := range p.Objective {
+		p.Objective[j] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.1 {
+				c := Constraint{Coeffs: make([]float64, n), Rel: GE, B: rng.Float64() * 200}
+				c.Coeffs[i], c.Coeffs[j] = 1, 1
+				p.Constraints = append(p.Constraints, c)
+			}
+		}
+		c := Constraint{Coeffs: make([]float64, n), Rel: LE, B: 500}
+		c.Coeffs[i] = 1
+		p.Constraints = append(p.Constraints, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package mapserver serves the digital Marauder's map display: a small
+// net/http server with a JSON API (AP locations, tracked devices, true vs
+// estimated positions) and an HTML canvas page that renders the map — the
+// reproduction's stand-in for the paper's Google-Maps overlay.
+package mapserver
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+// APMarker is one AP dot on the map.
+type APMarker struct {
+	BSSID string     `json:"bssid"`
+	SSID  string     `json:"ssid"`
+	Pos   geom.Point `json:"pos"`
+	Range float64    `json:"range"`
+}
+
+// DeviceMarker is one tracked device on the map: where the attack thinks
+// it is, and (when the caller knows it, e.g. in simulation) where it truly
+// is.
+type DeviceMarker struct {
+	MAC      string      `json:"mac"`
+	Est      geom.Point  `json:"est"`
+	Truth    *geom.Point `json:"truth,omitempty"`
+	K        int         `json:"k"`
+	Method   string      `json:"method"`
+	ErrM     float64     `json:"errM"`
+	HasTruth bool        `json:"hasTruth"`
+}
+
+// State is the server's current map content. Safe for concurrent use.
+type State struct {
+	mu      sync.RWMutex
+	aps     []APMarker
+	devices map[string]DeviceMarker
+}
+
+// NewState creates an empty map state.
+func NewState() *State {
+	return &State{devices: make(map[string]DeviceMarker)}
+}
+
+// SetAPs replaces the AP layer.
+func (s *State) SetAPs(aps []APMarker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aps = append([]APMarker(nil), aps...)
+}
+
+// APsFromKnowledge loads the AP layer from a localization knowledge base.
+func (s *State) APsFromKnowledge(k core.Knowledge) {
+	aps := make([]APMarker, 0, len(k))
+	for _, in := range k {
+		aps = append(aps, APMarker{
+			BSSID: in.BSSID.String(),
+			Pos:   in.Pos,
+			Range: in.MaxRange,
+		})
+	}
+	sort.Slice(aps, func(i, j int) bool { return aps[i].BSSID < aps[j].BSSID })
+	s.SetAPs(aps)
+}
+
+// UpdateDevice publishes a device estimate; truth is optional.
+func (s *State) UpdateDevice(mac dot11.MAC, est core.Estimate, truth *geom.Point) {
+	m := DeviceMarker{
+		MAC:    mac.String(),
+		Est:    est.Pos,
+		K:      est.K,
+		Method: est.Method,
+	}
+	if truth != nil {
+		tcopy := *truth
+		m.Truth = &tcopy
+		m.HasTruth = true
+		m.ErrM = est.Pos.Dist(tcopy)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.devices[m.MAC] = m
+}
+
+// RemoveDevice drops a device from the map.
+func (s *State) RemoveDevice(mac dot11.MAC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.devices, mac.String())
+}
+
+// snapshot copies the current state for serialization.
+func (s *State) snapshot() (aps []APMarker, devices []DeviceMarker) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	aps = append([]APMarker(nil), s.aps...)
+	devices = make([]DeviceMarker, 0, len(s.devices))
+	for _, d := range s.devices {
+		devices = append(devices, d)
+	}
+	sort.Slice(devices, func(i, j int) bool { return devices[i].MAC < devices[j].MAC })
+	return aps, devices
+}
+
+//go:embed static
+var staticFS embed.FS
+
+// Handler returns the HTTP handler for the map UI and API.
+func Handler(state *State) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/state", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		aps, devices := state.snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		err := json.NewEncoder(w).Encode(map[string]interface{}{
+			"aps":     aps,
+			"devices": devices,
+		})
+		if err != nil {
+			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		page, err := staticFS.ReadFile("static/index.html")
+		if err != nil {
+			http.Error(w, "missing page", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if _, err := w.Write(page); err != nil {
+			return
+		}
+	})
+	return mux
+}

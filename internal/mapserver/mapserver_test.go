@@ -1,0 +1,130 @@
+package mapserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+func testState() *State {
+	s := NewState()
+	s.SetAPs([]APMarker{
+		{BSSID: "00:00:00:00:00:01", SSID: "a", Pos: geom.Pt(0, 0), Range: 100},
+	})
+	truth := geom.Pt(10, 10)
+	s.UpdateDevice(dot11.MAC{0xDD, 0, 0, 0, 0, 1},
+		core.Estimate{Pos: geom.Pt(13, 14), K: 3, Method: "m-loc"}, &truth)
+	return s
+}
+
+func TestAPIState(t *testing.T) {
+	srv := httptest.NewServer(Handler(testState()))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var payload struct {
+		APs     []APMarker     `json:"aps"`
+		Devices []DeviceMarker `json:"devices"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.APs) != 1 || len(payload.Devices) != 1 {
+		t.Fatalf("payload = %+v", payload)
+	}
+	d := payload.Devices[0]
+	if !d.HasTruth || d.Truth == nil {
+		t.Fatal("device should carry truth")
+	}
+	if d.ErrM < 4.9 || d.ErrM > 5.1 {
+		t.Errorf("err = %v, want 5", d.ErrM)
+	}
+	if d.Method != "m-loc" || d.K != 3 {
+		t.Errorf("device = %+v", d)
+	}
+}
+
+func TestAPIMethodNotAllowed(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewState()))
+	defer srv.Close()
+	res, err := http.Post(srv.URL+"/api/state", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", res.StatusCode)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewState()))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	buf := make([]byte, 64)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "<!DOCTYPE html>") {
+		t.Errorf("index page start: %q", buf[:n])
+	}
+	// Unknown paths 404.
+	res2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", res2.StatusCode)
+	}
+}
+
+func TestAPsFromKnowledgeAndRemove(t *testing.T) {
+	s := NewState()
+	mac := dot11.MAC{0, 0, 0, 0, 0, 9}
+	s.APsFromKnowledge(core.Knowledge{
+		mac: {BSSID: mac, Pos: geom.Pt(1, 2), MaxRange: 50},
+	})
+	aps, _ := s.snapshot()
+	if len(aps) != 1 || aps[0].Range != 50 {
+		t.Fatalf("aps = %+v", aps)
+	}
+	dev := dot11.MAC{1, 1, 1, 1, 1, 1}
+	s.UpdateDevice(dev, core.Estimate{Pos: geom.Pt(0, 0)}, nil)
+	if _, devices := s.snapshot(); len(devices) != 1 {
+		t.Fatal("device missing")
+	}
+	s.RemoveDevice(dev)
+	if _, devices := s.snapshot(); len(devices) != 0 {
+		t.Fatal("device not removed")
+	}
+}
+
+func TestUpdateDeviceCopiesTruth(t *testing.T) {
+	s := NewState()
+	truth := geom.Pt(5, 5)
+	s.UpdateDevice(dot11.MAC{2}, core.Estimate{Pos: geom.Pt(5, 5)}, &truth)
+	truth.X = 999 // mutate the caller's value
+	_, devices := s.snapshot()
+	if devices[0].Truth.X != 5 {
+		t.Error("UpdateDevice must copy the truth point")
+	}
+}

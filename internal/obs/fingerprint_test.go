@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+func ingestProbes(s *Store, src dot11.MAC, ssids ...string) {
+	for i, ssid := range ssids {
+		s.Ingest(float64(i), dot11.NewProbeRequest(src, ssid, uint16(i)), false)
+	}
+}
+
+func TestFingerprintAccumulation(t *testing.T) {
+	s := NewStore()
+	dev := mac(1)
+	ingestProbes(s, dev, "home-net", "work-net", "home-net", "", "cafe")
+	fp := s.FingerprintOf(dev)
+	want := []string{"cafe", "home-net", "work-net"}
+	if len(fp.SSIDs) != len(want) {
+		t.Fatalf("fingerprint = %v", fp.SSIDs)
+	}
+	for i, ssid := range want {
+		if fp.SSIDs[i] != ssid {
+			t.Errorf("ssid[%d] = %q, want %q (sorted, deduped, no wildcard)",
+				i, fp.SSIDs[i], ssid)
+		}
+	}
+	// Unknown MAC: empty fingerprint.
+	if fp := s.FingerprintOf(mac(99)); len(fp.SSIDs) != 0 {
+		t.Errorf("unknown fingerprint = %v", fp.SSIDs)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := Fingerprint{SSIDs: []string{"x", "y", "z"}}
+	b := Fingerprint{SSIDs: []string{"y", "z", "w"}}
+	if got := a.Jaccard(b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("jaccard = %v, want 0.5", got)
+	}
+	if got := a.Jaccard(a); got != 1 {
+		t.Errorf("self jaccard = %v", got)
+	}
+	if got := a.Jaccard(Fingerprint{}); got != 0 {
+		t.Errorf("disjoint jaccard = %v", got)
+	}
+	// Two wildcard-only devices carry no identifier: similarity 0, not 1.
+	if got := (Fingerprint{}).Jaccard(Fingerprint{}); got != 0 {
+		t.Errorf("empty-empty jaccard = %v, want 0", got)
+	}
+}
+
+// The paper's pseudonym scenario: one device rotates through two MACs but
+// keeps probing its preferred networks; a third, unrelated device probes
+// different networks. LinkPseudonyms must link the first pair only.
+func TestLinkPseudonyms(t *testing.T) {
+	s := NewStore()
+	pseudoA, pseudoB, other := mac(0x10), mac(0x20), mac(0x30)
+	ingestProbes(s, pseudoA, "home-net", "work-net", "gym")
+	ingestProbes(s, pseudoB, "home-net", "work-net", "gym")
+	ingestProbes(s, other, "coffeeshop", "airport")
+
+	links := s.LinkPseudonyms(0.8)
+	if len(links) != 1 {
+		t.Fatalf("links = %+v", links)
+	}
+	l := links[0]
+	if !(l.A == pseudoA && l.B == pseudoB) {
+		t.Errorf("linked %v-%v, want the pseudonym pair", l.A, l.B)
+	}
+	if l.Similarity != 1 {
+		t.Errorf("similarity = %v", l.Similarity)
+	}
+
+	// Lower threshold: partial overlaps appear, sorted strongest first.
+	ingestProbes(s, mac(0x40), "home-net", "airport")
+	all := s.LinkPseudonyms(0.1)
+	if len(all) < 2 {
+		t.Fatalf("links at low threshold = %+v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Similarity > all[i-1].Similarity {
+			t.Fatal("links not sorted by similarity")
+		}
+	}
+}
+
+func TestLinkPseudonymsNoWildcardLinking(t *testing.T) {
+	s := NewStore()
+	// Devices that only wildcard-probe must never be linked.
+	ingestProbes(s, mac(1), "", "")
+	ingestProbes(s, mac(2), "", "")
+	if links := s.LinkPseudonyms(0.5); len(links) != 0 {
+		t.Errorf("wildcard devices linked: %+v", links)
+	}
+}

@@ -1,0 +1,248 @@
+// Package obs is the observation database of the digital Marauder's map:
+// it ingests captured 802.11 management frames and maintains, per mobile
+// device, the set Γ of APs the device has been observed communicating with
+// — the sole input the paper's localization algorithms need.
+//
+// It also tracks which devices were seen at all versus seen probing, the
+// statistic behind the paper's feasibility experiment (Figs 10-11), and
+// answers AP co-observation queries for AP-Rad's linear program.
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dot11"
+)
+
+// Kind classifies an observation.
+type Kind int
+
+// Observation kinds.
+const (
+	// KindProbeRequest is a device's broadcast scan; it proves the device
+	// is present (and probing) but names no AP.
+	KindProbeRequest Kind = iota + 1
+	// KindProbeResponse is an AP's reply to a device; it proves the
+	// device-AP pair is communicable.
+	KindProbeResponse
+	// KindAssociation is association traffic between a device and its AP.
+	KindAssociation
+	// KindBeacon is an AP beacon; it proves the AP exists.
+	KindBeacon
+)
+
+// Record is one pairwise observation between a device and an AP.
+type Record struct {
+	TimeSec float64   `json:"timeSec"`
+	Device  dot11.MAC `json:"device"`
+	AP      dot11.MAC `json:"ap"`
+	Kind    Kind      `json:"kind"`
+}
+
+// Store accumulates observations. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records []Record
+	seen    map[dot11.MAC]float64 // device -> first seen time
+	probing map[dot11.MAC]bool
+	aps     map[dot11.MAC]bool
+	fp      fingerprintStore
+}
+
+// NewStore creates an empty Store.
+func NewStore() *Store {
+	return &Store{
+		seen:    make(map[dot11.MAC]float64),
+		probing: make(map[dot11.MAC]bool),
+		aps:     make(map[dot11.MAC]bool),
+	}
+}
+
+// Ingest classifies one captured frame. fromAP tells whether the capture
+// pipeline attributed the frame to an AP transmitter.
+func (s *Store) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
+	if f == nil || f.Type != dot11.TypeManagement {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	markSeen := func(dev dot11.MAC) {
+		if _, ok := s.seen[dev]; !ok {
+			s.seen[dev] = timeSec
+		}
+	}
+	switch f.Subtype {
+	case dot11.SubtypeProbeRequest:
+		markSeen(f.Addr2)
+		s.probing[f.Addr2] = true
+		if ssid, ok := f.SSID(); ok {
+			s.recordProbeSSID(f.Addr2, ssid)
+		}
+	case dot11.SubtypeProbeResp:
+		markSeen(f.Addr1)
+		s.aps[f.Addr2] = true
+		s.records = append(s.records, Record{
+			TimeSec: timeSec, Device: f.Addr1, AP: f.Addr2, Kind: KindProbeResponse,
+		})
+	case dot11.SubtypeAssocReq:
+		markSeen(f.Addr2)
+		s.aps[f.Addr1] = true
+		s.records = append(s.records, Record{
+			TimeSec: timeSec, Device: f.Addr2, AP: f.Addr1, Kind: KindAssociation,
+		})
+	case dot11.SubtypeBeacon:
+		if fromAP {
+			s.aps[f.Addr2] = true
+		}
+	}
+}
+
+// Len returns the number of pairwise records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Devices returns every device ever seen, sorted by address.
+func (s *Store) Devices() []dot11.MAC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dot11.MAC, 0, len(s.seen))
+	for m := range s.seen {
+		out = append(out, m)
+	}
+	sortMACs(out)
+	return out
+}
+
+// ProbingDevices returns the devices observed sending probe requests.
+func (s *Store) ProbingDevices() []dot11.MAC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dot11.MAC, 0, len(s.probing))
+	for m := range s.probing {
+		out = append(out, m)
+	}
+	sortMACs(out)
+	return out
+}
+
+// APs returns every AP ever observed, sorted by address.
+func (s *Store) APs() []dot11.MAC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dot11.MAC, 0, len(s.aps))
+	for m := range s.aps {
+		out = append(out, m)
+	}
+	sortMACs(out)
+	return out
+}
+
+// APSet returns Γ, the set of APs the device has communicated with over the
+// whole observation history, sorted by address.
+func (s *Store) APSet(dev dot11.MAC) []dot11.MAC {
+	return s.APSetWindow(dev, 0, maxFloat)
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e308
+
+// APSetWindow returns Γ restricted to observations with start ≤ t < end —
+// the per-position observation when tracking a moving device.
+func (s *Store) APSetWindow(dev dot11.MAC, start, end float64) []dot11.MAC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[dot11.MAC]bool)
+	for _, r := range s.records {
+		if r.Device == dev && r.TimeSec >= start && r.TimeSec < end {
+			set[r.AP] = true
+		}
+	}
+	out := make([]dot11.MAC, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sortMACs(out)
+	return out
+}
+
+// DeviceAPSets returns Γ_k for every device with at least one pairwise
+// record, over the whole history.
+func (s *Store) DeviceAPSets() map[dot11.MAC][]dot11.MAC {
+	s.mu.RLock()
+	records := append([]Record(nil), s.records...)
+	s.mu.RUnlock()
+	sets := make(map[dot11.MAC]map[dot11.MAC]bool)
+	for _, r := range records {
+		if sets[r.Device] == nil {
+			sets[r.Device] = make(map[dot11.MAC]bool)
+		}
+		sets[r.Device][r.AP] = true
+	}
+	out := make(map[dot11.MAC][]dot11.MAC, len(sets))
+	for dev, set := range sets {
+		l := make([]dot11.MAC, 0, len(set))
+		for m := range set {
+			l = append(l, m)
+		}
+		sortMACs(l)
+		out[dev] = l
+	}
+	return out
+}
+
+// CoObserved reports whether some device observed both APs within
+// windowSec of each other — the evidence for AP-Rad's r_i + r_j ≥ d_ij
+// constraint.
+func (s *Store) CoObserved(ap1, ap2 dot11.MAC, windowSec float64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r1 := range s.records {
+		if r1.AP != ap1 {
+			continue
+		}
+		for _, r2 := range s.records {
+			if r2.AP != ap2 && ap1 != ap2 {
+				continue
+			}
+			if r2.AP == ap2 && r1.Device == r2.Device &&
+				absf(r1.TimeSec-r2.TimeSec) <= windowSec {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CoObservationIndex returns, for every device, the list of (time, AP)
+// pairs — a compact form the AP-Rad constraint builder iterates once
+// instead of calling CoObserved per pair.
+func (s *Store) CoObservationIndex() map[dot11.MAC][]Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[dot11.MAC][]Record)
+	for _, r := range s.records {
+		out[r.Device] = append(out[r.Device], r)
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sortMACs(ms []dot11.MAC) {
+	sort.Slice(ms, func(i, j int) bool {
+		for k := 0; k < 6; k++ {
+			if ms[i][k] != ms[j][k] {
+				return ms[i][k] < ms[j][k]
+			}
+		}
+		return false
+	})
+}

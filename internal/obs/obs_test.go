@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+func mac(i byte) dot11.MAC { return dot11.MAC{0, 0, 0, 0, 0, i} }
+
+func TestIngestClassification(t *testing.T) {
+	s := NewStore()
+	dev, ap := mac(1), mac(0xA1)
+
+	s.Ingest(1, dot11.NewProbeRequest(dev, "", 1), false)
+	if got := s.Devices(); len(got) != 1 || got[0] != dev {
+		t.Errorf("devices = %v", got)
+	}
+	if got := s.ProbingDevices(); len(got) != 1 || got[0] != dev {
+		t.Errorf("probing = %v", got)
+	}
+	if s.Len() != 0 {
+		t.Error("probe request alone should create no pairwise record")
+	}
+
+	s.Ingest(2, dot11.NewProbeResponse(ap, dev, "x", 6, 2), true)
+	if s.Len() != 1 {
+		t.Errorf("records = %d", s.Len())
+	}
+	if got := s.APSet(dev); len(got) != 1 || got[0] != ap {
+		t.Errorf("APSet = %v", got)
+	}
+	if got := s.APs(); len(got) != 1 || got[0] != ap {
+		t.Errorf("APs = %v", got)
+	}
+}
+
+func TestIngestIgnoresJunk(t *testing.T) {
+	s := NewStore()
+	s.Ingest(0, nil, false)
+	s.Ingest(0, &dot11.Frame{Type: dot11.TypeData}, false)
+	s.Ingest(0, dot11.NewBeacon(mac(0xA2), "b", 1, 0, 0), false) // fromAP=false: untrusted
+	if s.Len() != 0 || len(s.Devices()) != 0 || len(s.APs()) != 0 {
+		t.Error("junk frames must not create state")
+	}
+	s.Ingest(0, dot11.NewBeacon(mac(0xA2), "b", 1, 0, 0), true)
+	if got := s.APs(); len(got) != 1 {
+		t.Errorf("beacon fromAP should register the AP, got %v", got)
+	}
+}
+
+func TestAssociationRecords(t *testing.T) {
+	s := NewStore()
+	dev, ap := mac(3), mac(0xA3)
+	fr := &dot11.Frame{
+		Type: dot11.TypeManagement, Subtype: dot11.SubtypeAssocReq,
+		Addr1: ap, Addr2: dev, Addr3: ap,
+	}
+	s.Ingest(5, fr, false)
+	if got := s.APSet(dev); len(got) != 1 || got[0] != ap {
+		t.Errorf("APSet = %v", got)
+	}
+	// The device is found but not probing.
+	if len(s.ProbingDevices()) != 0 {
+		t.Error("assoc traffic must not mark device probing")
+	}
+	if len(s.Devices()) != 1 {
+		t.Error("assoc traffic must mark device found")
+	}
+}
+
+func TestAPSetWindow(t *testing.T) {
+	s := NewStore()
+	dev := mac(1)
+	s.Ingest(10, dot11.NewProbeResponse(mac(0xA1), dev, "", 1, 1), true)
+	s.Ingest(20, dot11.NewProbeResponse(mac(0xA2), dev, "", 6, 2), true)
+	s.Ingest(30, dot11.NewProbeResponse(mac(0xA3), dev, "", 11, 3), true)
+	if got := s.APSetWindow(dev, 15, 25); len(got) != 1 || got[0] != mac(0xA2) {
+		t.Errorf("window = %v", got)
+	}
+	if got := s.APSet(dev); len(got) != 3 {
+		t.Errorf("full set = %v", got)
+	}
+	if got := s.APSetWindow(dev, 100, 200); len(got) != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestDeviceAPSets(t *testing.T) {
+	s := NewStore()
+	d1, d2 := mac(1), mac(2)
+	s.Ingest(1, dot11.NewProbeResponse(mac(0xA1), d1, "", 1, 1), true)
+	s.Ingest(1, dot11.NewProbeResponse(mac(0xA2), d1, "", 1, 1), true)
+	s.Ingest(1, dot11.NewProbeResponse(mac(0xA2), d1, "", 1, 2), true) // duplicate
+	s.Ingest(2, dot11.NewProbeResponse(mac(0xA2), d2, "", 6, 1), true)
+	sets := s.DeviceAPSets()
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	if want := []dot11.MAC{mac(0xA1), mac(0xA2)}; !reflect.DeepEqual(sets[d1], want) {
+		t.Errorf("d1 set = %v, want %v (sorted, deduped)", sets[d1], want)
+	}
+	if len(sets[d2]) != 1 {
+		t.Errorf("d2 set = %v", sets[d2])
+	}
+}
+
+func TestCoObserved(t *testing.T) {
+	s := NewStore()
+	dev := mac(1)
+	a1, a2, a3 := mac(0xA1), mac(0xA2), mac(0xA3)
+	s.Ingest(100, dot11.NewProbeResponse(a1, dev, "", 1, 1), true)
+	s.Ingest(105, dot11.NewProbeResponse(a2, dev, "", 6, 1), true)
+	s.Ingest(9999, dot11.NewProbeResponse(a3, dev, "", 11, 1), true)
+	if !s.CoObserved(a1, a2, 10) {
+		t.Error("a1,a2 co-observed within 10 s")
+	}
+	if s.CoObserved(a1, a3, 10) {
+		t.Error("a1,a3 seen hours apart must not be co-observed at 10 s window")
+	}
+	if !s.CoObserved(a1, a3, 1e6) {
+		t.Error("a1,a3 co-observed at huge window")
+	}
+	if s.CoObserved(a1, mac(0xEE), 1e6) {
+		t.Error("unknown AP cannot be co-observed")
+	}
+}
+
+func TestCoObservationIndex(t *testing.T) {
+	s := NewStore()
+	dev := mac(4)
+	s.Ingest(1, dot11.NewProbeResponse(mac(0xA1), dev, "", 1, 1), true)
+	s.Ingest(2, dot11.NewProbeResponse(mac(0xA2), dev, "", 6, 1), true)
+	idx := s.CoObservationIndex()
+	if len(idx[dev]) != 2 {
+		t.Errorf("index = %v", idx)
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dev := mac(byte(g))
+			for i := 0; i < 100; i++ {
+				s.Ingest(float64(i), dot11.NewProbeResponse(mac(0xA0+byte(i%5)), dev, "", 1, uint16(i)), true)
+				s.APSet(dev)
+				s.Devices()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(s.Devices()) != 8 {
+		t.Errorf("devices = %d, want 8", len(s.Devices()))
+	}
+	if len(s.APs()) != 5 {
+		t.Errorf("aps = %d, want 5", len(s.APs()))
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	s := NewStore()
+	for _, b := range []byte{9, 3, 7, 1} {
+		s.Ingest(0, dot11.NewProbeRequest(mac(b), "", 0), false)
+	}
+	devs := s.Devices()
+	for i := 1; i < len(devs); i++ {
+		if devs[i-1][5] > devs[i][5] {
+			t.Fatalf("not sorted: %v", devs)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dot11"
+)
+
+// snapshot is the serialized form of a Store.
+type snapshot struct {
+	Records []Record             `json:"records"`
+	Seen    []seenEntry          `json:"seen"`
+	Probing []dot11.MAC          `json:"probing"`
+	APs     []dot11.MAC          `json:"aps"`
+	SSIDs   []fingerprintEntryJS `json:"ssids,omitempty"`
+}
+
+type seenEntry struct {
+	MAC   dot11.MAC `json:"mac"`
+	First float64   `json:"first"`
+}
+
+type fingerprintEntryJS struct {
+	MAC   dot11.MAC `json:"mac"`
+	SSIDs []string  `json:"ssids"`
+}
+
+// Save serializes the store as JSON, so an attack session (or a long
+// capture) can be persisted and resumed.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Records: append([]Record(nil), s.records...)}
+	for m, t := range s.seen {
+		snap.Seen = append(snap.Seen, seenEntry{MAC: m, First: t})
+	}
+	for m := range s.probing {
+		snap.Probing = append(snap.Probing, m)
+	}
+	for m := range s.aps {
+		snap.APs = append(snap.APs, m)
+	}
+	for m, set := range s.fp.probedSSIDs {
+		e := fingerprintEntryJS{MAC: m}
+		for ssid := range set {
+			e.SSIDs = append(e.SSIDs, ssid)
+		}
+		sort.Strings(e.SSIDs)
+		snap.SSIDs = append(snap.SSIDs, e)
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(snap.Seen, func(i, j int) bool { return lessMAC(snap.Seen[i].MAC, snap.Seen[j].MAC) })
+	sortMACs(snap.Probing)
+	sortMACs(snap.APs)
+	sort.Slice(snap.SSIDs, func(i, j int) bool { return lessMAC(snap.SSIDs[i].MAC, snap.SSIDs[j].MAC) })
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("obs: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a store previously written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("obs: load: %w", err)
+	}
+	s := NewStore()
+	s.records = snap.Records
+	for _, e := range snap.Seen {
+		s.seen[e.MAC] = e.First
+	}
+	for _, m := range snap.Probing {
+		s.probing[m] = true
+	}
+	for _, m := range snap.APs {
+		s.aps[m] = true
+	}
+	if len(snap.SSIDs) > 0 {
+		s.ensureFingerprints()
+		for _, e := range snap.SSIDs {
+			set := make(map[string]bool, len(e.SSIDs))
+			for _, ssid := range e.SSIDs {
+				set[ssid] = true
+			}
+			s.fp.probedSSIDs[e.MAC] = set
+		}
+	}
+	return s, nil
+}

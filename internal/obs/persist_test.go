@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	dev, ap := mac(1), mac(0xA1)
+	s.Ingest(1, dot11.NewProbeRequest(dev, "home-net", 1), false)
+	s.Ingest(2, dot11.NewProbeResponse(ap, dev, "x", 6, 2), true)
+	s.Ingest(3, dot11.NewBeacon(mac(0xA2), "b", 1, 0, 0), true)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("records %d != %d", got.Len(), s.Len())
+	}
+	if !reflect.DeepEqual(got.Devices(), s.Devices()) {
+		t.Errorf("devices %v != %v", got.Devices(), s.Devices())
+	}
+	if !reflect.DeepEqual(got.ProbingDevices(), s.ProbingDevices()) {
+		t.Error("probing sets differ")
+	}
+	if !reflect.DeepEqual(got.APs(), s.APs()) {
+		t.Errorf("aps %v != %v", got.APs(), s.APs())
+	}
+	if !reflect.DeepEqual(got.APSet(dev), s.APSet(dev)) {
+		t.Error("AP sets differ")
+	}
+	if !reflect.DeepEqual(got.FingerprintOf(dev), s.FingerprintOf(dev)) {
+		t.Errorf("fingerprints differ: %v vs %v",
+			got.FingerprintOf(dev), s.FingerprintOf(dev))
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || len(got.Devices()) != 0 {
+		t.Error("empty store should load empty")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Error("want error for garbage input")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := NewStore()
+	for i := byte(0); i < 5; i++ {
+		s.Ingest(float64(i), dot11.NewProbeResponse(mac(0xA0+i), mac(i), "", 1, 1), true)
+		s.Ingest(float64(i), dot11.NewProbeRequest(mac(i), "net", 1), false)
+	}
+	var a, b bytes.Buffer
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save output must be deterministic")
+	}
+}

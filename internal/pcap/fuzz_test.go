@@ -1,0 +1,34 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader feeds arbitrary bytes to the pcap reader: it must never panic
+// and must terminate (every packet consumes input, so EOF or an error is
+// always reached).
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeIEEE80211)
+	_ = w.WritePacket(Packet{Time: time.Unix(1000, 0), Data: []byte{1, 2, 3}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xa1}, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) || err != nil {
+				return
+			}
+		}
+		t.Fatal("reader produced 1000 packets from a fuzz input; likely not consuming input")
+	})
+}

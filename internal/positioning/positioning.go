@@ -1,0 +1,237 @@
+// Package positioning implements the classic RSS-based self-positioning
+// techniques the paper's introduction classifies (trilateration from
+// received signal strength, RF fingerprinting) — and that it argues a
+// third-party attacker cannot use, because the needed signal-strength
+// readings exist only at the victim's own radio.
+//
+// They are implemented here as baselines: run in self-positioning mode on
+// simulated device-side RSS they bound what is achievable WITH signal
+// strength; the Marauder's map achieves comparable accuracy with none.
+package positioning
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+// RSSSample is one AP's signal strength measured at the device, together
+// with what the estimator knows about that AP.
+type RSSSample struct {
+	// Pos is the AP's known position.
+	Pos geom.Point
+	// RSSIDBm is the measured power.
+	RSSIDBm float64
+	// EIRPDBm is the AP's effective radiated power.
+	EIRPDBm float64
+	// FreqHz is the AP's carrier frequency.
+	FreqHz float64
+}
+
+// Positioning errors.
+var (
+	ErrTooFewSamples = errors.New("positioning: need at least 3 samples")
+	ErrSingular      = errors.New("positioning: geometry is singular")
+)
+
+// InvertPathLoss converts a measured RSS back to a distance estimate under
+// the model: find d with EIRP − L(d) = rssi by bisection over [1 m, 100 km].
+func InvertPathLoss(s RSSSample, model rf.PathLoss) float64 {
+	target := s.EIRPDBm - s.RSSIDBm // required loss
+	lo, hi := 1.0, 1e5
+	if model.LossDB(lo, s.FreqHz) >= target {
+		return lo
+	}
+	if model.LossDB(hi, s.FreqHz) <= target {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: loss is log in d
+		if model.LossDB(mid, s.FreqHz) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// Trilaterate estimates the device position from ≥3 RSS samples: invert
+// the path-loss model to per-AP distance estimates, solve the linearized
+// system, then polish with Gauss-Newton iterations on the nonlinear
+// least-squares objective Σ (‖p − pᵢ‖ − dᵢ)².
+func Trilaterate(samples []RSSSample, model rf.PathLoss) (geom.Point, error) {
+	if len(samples) < 3 {
+		return geom.Point{}, ErrTooFewSamples
+	}
+	dists := make([]float64, len(samples))
+	for i, s := range samples {
+		dists[i] = InvertPathLoss(s, model)
+	}
+
+	// Linearization against the first anchor.
+	p0 := samples[0].Pos
+	d0 := dists[0]
+	var a11, a12, a22, b1, b2 float64
+	for i := 1; i < len(samples); i++ {
+		pi := samples[i].Pos
+		ax := 2 * (pi.X - p0.X)
+		ay := 2 * (pi.Y - p0.Y)
+		rhs := d0*d0 - dists[i]*dists[i] +
+			pi.X*pi.X - p0.X*p0.X + pi.Y*pi.Y - p0.Y*p0.Y
+		a11 += ax * ax
+		a12 += ax * ay
+		a22 += ay * ay
+		b1 += ax * rhs
+		b2 += ay * rhs
+	}
+	det := a11*a22 - a12*a12
+	if math.Abs(det) < 1e-9 {
+		return geom.Point{}, ErrSingular
+	}
+	p := geom.Point{
+		X: (a22*b1 - a12*b2) / det,
+		Y: (a11*b2 - a12*b1) / det,
+	}
+
+	// Gauss-Newton refinement.
+	for iter := 0; iter < 25; iter++ {
+		var jtj11, jtj12, jtj22, jtr1, jtr2 float64
+		for i, s := range samples {
+			dx := p.X - s.Pos.X
+			dy := p.Y - s.Pos.Y
+			dist := math.Hypot(dx, dy)
+			if dist < 1e-9 {
+				continue
+			}
+			res := dist - dists[i]
+			jx, jy := dx/dist, dy/dist
+			jtj11 += jx * jx
+			jtj12 += jx * jy
+			jtj22 += jy * jy
+			jtr1 += jx * res
+			jtr2 += jy * res
+		}
+		det := jtj11*jtj22 - jtj12*jtj12
+		if math.Abs(det) < 1e-12 {
+			break
+		}
+		stepX := (jtj22*jtr1 - jtj12*jtr2) / det
+		stepY := (jtj11*jtr2 - jtj12*jtr1) / det
+		p.X -= stepX
+		p.Y -= stepY
+		if math.Hypot(stepX, stepY) < 1e-6 {
+			break
+		}
+	}
+	return p, nil
+}
+
+// FingerprintEntry is one training observation of the RF fingerprint
+// database: a surveyed location and the RSS vector measured there.
+type FingerprintEntry struct {
+	Pos geom.Point
+	// RSSI maps AP BSSID to the measured power at Pos.
+	RSSI map[dot11.MAC]float64
+}
+
+// FingerprintDB is a RADAR-style fingerprint positioning database.
+type FingerprintDB struct {
+	entries []FingerprintEntry
+	// MissingPenaltyDB scores an AP heard in only one of the two vectors
+	// as if the other reading were this many dB below the weakest shared
+	// reading. Defaults to 10.
+	MissingPenaltyDB float64
+}
+
+// NewFingerprintDB builds a database from training entries.
+func NewFingerprintDB(entries []FingerprintEntry) (*FingerprintDB, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("positioning: empty fingerprint training set")
+	}
+	for i, e := range entries {
+		if len(e.RSSI) == 0 {
+			return nil, fmt.Errorf("positioning: training entry %d has no readings", i)
+		}
+	}
+	return &FingerprintDB{
+		entries:          append([]FingerprintEntry(nil), entries...),
+		MissingPenaltyDB: 10,
+	}, nil
+}
+
+// Len returns the number of training entries.
+func (db *FingerprintDB) Len() int { return len(db.entries) }
+
+// signalDistance is the RADAR signal-space Euclidean distance between two
+// RSS vectors, penalizing APs present in only one vector.
+func (db *FingerprintDB) signalDistance(a, b map[dot11.MAC]float64) float64 {
+	weakest := 0.0
+	for _, v := range a {
+		weakest = math.Min(weakest, v)
+	}
+	for _, v := range b {
+		weakest = math.Min(weakest, v)
+	}
+	missing := weakest - db.MissingPenaltyDB
+	sum := 0.0
+	n := 0
+	seen := make(map[dot11.MAC]bool, len(a))
+	for ap, va := range a {
+		seen[ap] = true
+		vb, ok := b[ap]
+		if !ok {
+			vb = missing
+		}
+		d := va - vb
+		sum += d * d
+		n++
+	}
+	for ap, vb := range b {
+		if seen[ap] {
+			continue
+		}
+		d := vb - missing
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Locate estimates the position of an RSS vector as the centroid of the k
+// nearest training entries in signal space (k-nearest-neighbours, the
+// RADAR approach).
+func (db *FingerprintDB) Locate(rssi map[dot11.MAC]float64, k int) (geom.Point, error) {
+	if len(rssi) == 0 {
+		return geom.Point{}, errors.New("positioning: empty RSS vector")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(db.entries) {
+		k = len(db.entries)
+	}
+	type scored struct {
+		idx  int
+		dist float64
+	}
+	scores := make([]scored, len(db.entries))
+	for i, e := range db.entries {
+		scores[i] = scored{i, db.signalDistance(rssi, e.RSSI)}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].dist < scores[j].dist })
+	var sx, sy float64
+	for _, s := range scores[:k] {
+		sx += db.entries[s.idx].Pos.X
+		sy += db.entries[s.idx].Pos.Y
+	}
+	return geom.Point{X: sx / float64(k), Y: sy / float64(k)}, nil
+}

@@ -1,0 +1,203 @@
+package positioning
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+var testModel = rf.LogDistance{Exponent: 2.8, RefDistM: 1}
+
+// sampleAt builds a noiseless RSS sample for an AP at pos heard from
+// device position dev.
+func sampleAt(apPos, dev geom.Point) RSSSample {
+	const eirp = 19.0
+	const freq = 2.437e9
+	d := math.Max(1, apPos.Dist(dev))
+	return RSSSample{
+		Pos:     apPos,
+		RSSIDBm: eirp - testModel.LossDB(d, freq),
+		EIRPDBm: eirp,
+		FreqHz:  freq,
+	}
+}
+
+func TestInvertPathLossRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Float64()*2000
+		s := sampleAt(geom.Pt(0, 0), geom.Pt(d, 0))
+		got := InvertPathLoss(s, testModel)
+		return math.Abs(got-d) < 0.01*d+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertPathLossClamps(t *testing.T) {
+	// Absurdly strong signal: distance clamps to the 1 m floor.
+	s := RSSSample{Pos: geom.Pt(0, 0), RSSIDBm: 100, EIRPDBm: 19, FreqHz: 2.437e9}
+	if got := InvertPathLoss(s, testModel); got != 1 {
+		t.Errorf("clamp low = %v", got)
+	}
+	// Absurdly weak: clamps to the far cap.
+	s.RSSIDBm = -300
+	if got := InvertPathLoss(s, testModel); got != 1e5 {
+		t.Errorf("clamp high = %v", got)
+	}
+}
+
+func TestTrilaterateExact(t *testing.T) {
+	truth := geom.Pt(37, -21)
+	anchors := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(200, 0), geom.Pt(0, 200), geom.Pt(150, 180),
+	}
+	samples := make([]RSSSample, 0, len(anchors))
+	for _, a := range anchors {
+		samples = append(samples, sampleAt(a, truth))
+	}
+	got, err := Trilaterate(samples, testModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 0.5 {
+		t.Errorf("estimate %v, truth %v, err %.2f", got, truth, got.Dist(truth))
+	}
+}
+
+func TestTrilaterateErrors(t *testing.T) {
+	if _, err := Trilaterate(nil, testModel); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+	// Collinear anchors: singular geometry.
+	truth := geom.Pt(10, 50)
+	var samples []RSSSample
+	for _, x := range []float64{0, 100, 200} {
+		samples = append(samples, sampleAt(geom.Pt(x, 0), truth))
+	}
+	if _, err := Trilaterate(samples, testModel); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear: err = %v", err)
+	}
+}
+
+func TestTrilaterateNoisyDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := geom.Pt(50, 80)
+	anchors := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(250, 10), geom.Pt(30, 240),
+		geom.Pt(220, 230), geom.Pt(120, -80),
+	}
+	var sumErr float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		samples := make([]RSSSample, 0, len(anchors))
+		for _, a := range anchors {
+			s := sampleAt(a, truth)
+			s.RSSIDBm += rng.NormFloat64() * 4 // 4 dB shadowing
+			samples = append(samples, s)
+		}
+		got, err := Trilaterate(samples, testModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumErr += got.Dist(truth)
+	}
+	avg := sumErr / trials
+	// 4 dB shadowing at n=2.8 gives ~30-40% ranging error; the position
+	// error should stay within ~60 m at these anchor distances.
+	if avg > 60 {
+		t.Errorf("average noisy error = %.1f m", avg)
+	}
+}
+
+func buildFingerprintDB(t *testing.T, aps map[dot11.MAC]geom.Point, spacing float64) *FingerprintDB {
+	t.Helper()
+	var entries []FingerprintEntry
+	for x := 0.0; x <= 300; x += spacing {
+		for y := 0.0; y <= 300; y += spacing {
+			pos := geom.Pt(x, y)
+			rssi := make(map[dot11.MAC]float64)
+			for mac, apPos := range aps {
+				s := sampleAt(apPos, pos)
+				if s.RSSIDBm > -95 {
+					rssi[mac] = s.RSSIDBm
+				}
+			}
+			if len(rssi) > 0 {
+				entries = append(entries, FingerprintEntry{Pos: pos, RSSI: rssi})
+			}
+		}
+	}
+	db, err := NewFingerprintDB(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func fingerprintAPs() map[dot11.MAC]geom.Point {
+	return map[dot11.MAC]geom.Point{
+		{0, 0, 0, 0, 0, 1}: geom.Pt(0, 0),
+		{0, 0, 0, 0, 0, 2}: geom.Pt(300, 0),
+		{0, 0, 0, 0, 0, 3}: geom.Pt(0, 300),
+		{0, 0, 0, 0, 0, 4}: geom.Pt(300, 300),
+		{0, 0, 0, 0, 0, 5}: geom.Pt(150, 150),
+	}
+}
+
+func TestFingerprintDBValidation(t *testing.T) {
+	if _, err := NewFingerprintDB(nil); err == nil {
+		t.Error("want error for empty training set")
+	}
+	if _, err := NewFingerprintDB([]FingerprintEntry{{Pos: geom.Pt(0, 0)}}); err == nil {
+		t.Error("want error for entry without readings")
+	}
+}
+
+func TestFingerprintLocate(t *testing.T) {
+	aps := fingerprintAPs()
+	db := buildFingerprintDB(t, aps, 30)
+	if db.Len() == 0 {
+		t.Fatal("empty db")
+	}
+	truth := geom.Pt(110, 190)
+	rssi := make(map[dot11.MAC]float64)
+	for mac, apPos := range aps {
+		rssi[mac] = sampleAt(apPos, truth).RSSIDBm
+	}
+	got, err := db.Locate(rssi, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless query on a 30 m grid: within about one grid cell.
+	if got.Dist(truth) > 35 {
+		t.Errorf("estimate %v, truth %v, err %.1f", got, truth, got.Dist(truth))
+	}
+	if _, err := db.Locate(nil, 3); err == nil {
+		t.Error("want error for empty query")
+	}
+	// k larger than the training set clamps.
+	if _, err := db.Locate(rssi, 10_000); err != nil {
+		t.Errorf("oversized k: %v", err)
+	}
+}
+
+func TestFingerprintMissingAPPenalty(t *testing.T) {
+	db := &FingerprintDB{MissingPenaltyDB: 10}
+	a := map[dot11.MAC]float64{{0, 0, 0, 0, 0, 1}: -60}
+	b := map[dot11.MAC]float64{{0, 0, 0, 0, 0, 2}: -60}
+	shared := map[dot11.MAC]float64{{0, 0, 0, 0, 0, 1}: -60}
+	if db.signalDistance(a, shared) != 0 {
+		t.Error("identical vectors should have zero distance")
+	}
+	if db.signalDistance(a, b) <= db.signalDistance(a, shared) {
+		t.Error("disjoint vectors should be farther than identical ones")
+	}
+}

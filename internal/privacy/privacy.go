@@ -1,0 +1,279 @@
+// Package privacy implements the location-privacy countermeasures the
+// paper surveys (Section V) and calls for (Section VI): MAC-address
+// pseudonym rotation [Hu & Wang; Singelée & Preneel], random silent
+// periods, mix zones [Beresford & Stajano], and probe-request hygiene
+// (wildcard-only scanning, defeating the implicit-identifier linking of
+// Pang et al. that the Marauder's map uses against pseudonyms).
+//
+// Each defence is a Policy that rewrites a device's outbound traffic
+// before it ever reaches the air, so the same attack pipeline can be run
+// against defended and undefended devices and the degradation quantified
+// (see experiments.DefenseEvaluation).
+package privacy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Policy transforms the traffic a single device emits. Implementations
+// must not mutate the input events.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Apply rewrites the device's event stream. The device's true MAC
+	// identifies which frames belong to it (a frame is the device's when
+	// it is the transmitter, and AP responses to it carry it as Addr1).
+	Apply(devMAC dot11.MAC, events []sim.TxEvent, rng *rand.Rand) []sim.TxEvent
+}
+
+// NoDefense leaves traffic untouched — the baseline.
+type NoDefense struct{}
+
+var _ Policy = NoDefense{}
+
+// Name implements Policy.
+func (NoDefense) Name() string { return "none" }
+
+// Apply implements Policy.
+func (NoDefense) Apply(_ dot11.MAC, events []sim.TxEvent, _ *rand.Rand) []sim.TxEvent {
+	return events
+}
+
+// MACRotation rotates the device's MAC address every PeriodSec seconds, as
+// pseudonym schemes propose. Frames sent by the device and AP responses
+// addressed to it are consistently rewritten to the pseudonym active at
+// their transmission time.
+type MACRotation struct {
+	// PeriodSec is the pseudonym lifetime.
+	PeriodSec float64
+}
+
+var _ Policy = MACRotation{}
+
+// Name implements Policy.
+func (m MACRotation) Name() string {
+	return fmt.Sprintf("mac-rotation-%.0fs", m.PeriodSec)
+}
+
+// Apply implements Policy.
+func (m MACRotation) Apply(devMAC dot11.MAC, events []sim.TxEvent, rng *rand.Rand) []sim.TxEvent {
+	if m.PeriodSec <= 0 {
+		return events
+	}
+	pseudos := make(map[int]dot11.MAC)
+	pseudonymAt := func(t float64) dot11.MAC {
+		epoch := int(t / m.PeriodSec)
+		p, ok := pseudos[epoch]
+		if !ok {
+			p = randomLocalMAC(rng)
+			pseudos[epoch] = p
+		}
+		return p
+	}
+	out := make([]sim.TxEvent, 0, len(events))
+	for _, ev := range events {
+		f := *ev.Frame
+		pseudo := pseudonymAt(ev.TimeSec)
+		if f.Addr1 == devMAC {
+			f.Addr1 = pseudo
+		}
+		if f.Addr2 == devMAC {
+			f.Addr2 = pseudo
+		}
+		if f.Addr3 == devMAC {
+			f.Addr3 = pseudo
+		}
+		ev.Frame = &f
+		out = append(out, ev)
+	}
+	return out
+}
+
+// randomLocalMAC draws a locally-administered unicast MAC.
+func randomLocalMAC(rng *rand.Rand) dot11.MAC {
+	var m dot11.MAC
+	for i := range m {
+		m[i] = byte(rng.Intn(256))
+	}
+	m[0] = m[0]&0xfc | 0x02 // locally administered, unicast
+	return m
+}
+
+// SilentPeriods drops all of the device's traffic during randomly placed
+// silence windows: alternating active intervals of mean ActiveSec and
+// silences of mean SilentSec (exponentially distributed), per Hu & Wang's
+// random silent period framework.
+type SilentPeriods struct {
+	ActiveSec float64
+	SilentSec float64
+}
+
+var _ Policy = SilentPeriods{}
+
+// Name implements Policy.
+func (s SilentPeriods) Name() string {
+	return fmt.Sprintf("silent-periods-%.0f/%.0fs", s.ActiveSec, s.SilentSec)
+}
+
+// Apply implements Policy.
+func (s SilentPeriods) Apply(devMAC dot11.MAC, events []sim.TxEvent, rng *rand.Rand) []sim.TxEvent {
+	if s.SilentSec <= 0 || len(events) == 0 {
+		return events
+	}
+	end := events[len(events)-1].TimeSec
+	// Precompute silence windows across the trace.
+	type window struct{ from, to float64 }
+	var silences []window
+	t := rng.ExpFloat64() * s.ActiveSec
+	for t < end {
+		dur := rng.ExpFloat64() * s.SilentSec
+		silences = append(silences, window{t, t + dur})
+		t += dur + rng.ExpFloat64()*s.ActiveSec
+	}
+	silent := func(ts float64) bool {
+		for _, w := range silences {
+			if ts >= w.from && ts < w.to {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]sim.TxEvent, 0, len(events))
+	for _, ev := range events {
+		if involvesDevice(ev, devMAC) && silent(ev.TimeSec) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// MixZone drops the device's traffic whenever it transmits from inside a
+// protected zone, and rotates its MAC on every zone crossing — the classic
+// mix-zone construction: identities entering the zone mix and exit
+// unlinkable.
+type MixZone struct {
+	Zones []geom.Circle
+}
+
+var _ Policy = MixZone{}
+
+// Name implements Policy.
+func (m MixZone) Name() string { return fmt.Sprintf("mix-zones-%d", len(m.Zones)) }
+
+// Apply implements Policy. Zone membership is tracked from the device's
+// own transmissions (whose Pos is the device position); AP responses
+// addressed to the device follow the device's current state — suppressed
+// while it is silent in a zone, rewritten to its current pseudonym
+// otherwise.
+func (m MixZone) Apply(devMAC dot11.MAC, events []sim.TxEvent, rng *rand.Rand) []sim.TxEvent {
+	current := devMAC
+	inZone := func(p geom.Point) bool {
+		for _, z := range m.Zones {
+			if z.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]sim.TxEvent, 0, len(events))
+	wasIn := false
+	for _, ev := range events {
+		if !involvesDevice(ev, devMAC) {
+			out = append(out, ev)
+			continue
+		}
+		if !ev.FromAP {
+			// Device transmission: its Pos is the device position.
+			in := inZone(ev.Pos)
+			if in {
+				if !wasIn {
+					current = randomLocalMAC(rng) // fresh exit identity
+				}
+				wasIn = true
+				continue // silent inside the zone
+			}
+			wasIn = false
+		} else if wasIn {
+			// No response traffic exists for a silent device.
+			continue
+		}
+		f := *ev.Frame
+		if f.Addr1 == devMAC {
+			f.Addr1 = current
+		}
+		if f.Addr2 == devMAC {
+			f.Addr2 = current
+		}
+		if f.Addr3 == devMAC {
+			f.Addr3 = current
+		}
+		ev.Frame = &f
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WildcardProbes strips directed SSIDs from the device's probe requests so
+// its preferred-network list never leaks — the hygiene that defeats
+// implicit-identifier pseudonym linking.
+type WildcardProbes struct{}
+
+var _ Policy = WildcardProbes{}
+
+// Name implements Policy.
+func (WildcardProbes) Name() string { return "wildcard-probes" }
+
+// Apply implements Policy.
+func (WildcardProbes) Apply(devMAC dot11.MAC, events []sim.TxEvent, _ *rand.Rand) []sim.TxEvent {
+	out := make([]sim.TxEvent, 0, len(events))
+	for _, ev := range events {
+		if ev.Frame.Subtype == dot11.SubtypeProbeRequest && ev.Frame.Addr2 == devMAC {
+			f := *ev.Frame
+			f.IEs = append([]dot11.IE(nil), f.IEs...)
+			for i, ie := range f.IEs {
+				if ie.ID == dot11.EIDSSID {
+					f.IEs[i] = dot11.IE{ID: dot11.EIDSSID, Data: nil}
+				}
+			}
+			ev.Frame = &f
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Chain composes policies, applying them in order.
+type Chain []Policy
+
+var _ Policy = Chain{}
+
+// Name implements Policy.
+func (c Chain) Name() string {
+	if len(c) == 0 {
+		return "none"
+	}
+	name := c[0].Name()
+	for _, p := range c[1:] {
+		name += "+" + p.Name()
+	}
+	return name
+}
+
+// Apply implements Policy.
+func (c Chain) Apply(devMAC dot11.MAC, events []sim.TxEvent, rng *rand.Rand) []sim.TxEvent {
+	for _, p := range c {
+		events = p.Apply(devMAC, events, rng)
+	}
+	return events
+}
+
+func involvesDevice(ev sim.TxEvent, devMAC dot11.MAC) bool {
+	f := ev.Frame
+	return f.Addr1 == devMAC || f.Addr2 == devMAC || f.Addr3 == devMAC
+}

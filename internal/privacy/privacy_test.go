@@ -1,0 +1,188 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// walkEvents builds a simple walk trace for one device through a tiny
+// world.
+func walkEvents(t *testing.T, seed int64) (dot11.MAC, []sim.TxEvent) {
+	t.Helper()
+	w := sim.NewWorld(seed)
+	for i, pos := range []geom.Point{geom.Pt(0, 0), geom.Pt(150, 0), geom.Pt(300, 0)} {
+		ap, err := sim.NewAP(i, "n", pos, 6, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.AddAP(ap)
+	}
+	dev := &sim.Device{
+		MAC:      sim.NewMAC(0xDD, 1),
+		Mobility: sim.NewRouteWalk([]geom.Point{geom.Pt(-50, 0), geom.Pt(350, 0)}, 2),
+		TX:       rf.TypicalMobile,
+	}
+	w.AddDevice(dev)
+	return dev.MAC, sim.WalkTrace(w, dev, 200, 20)
+}
+
+func deviceMACs(events []sim.TxEvent) map[dot11.MAC]bool {
+	macs := make(map[dot11.MAC]bool)
+	for _, ev := range events {
+		if ev.Frame.Subtype == dot11.SubtypeProbeRequest {
+			macs[ev.Frame.Addr2] = true
+		}
+	}
+	return macs
+}
+
+func TestNoDefensePassthrough(t *testing.T) {
+	dev, evs := walkEvents(t, 1)
+	out := (NoDefense{}).Apply(dev, evs, rand.New(rand.NewSource(1)))
+	if len(out) != len(evs) {
+		t.Fatalf("events %d -> %d", len(evs), len(out))
+	}
+	if (NoDefense{}).Name() != "none" {
+		t.Error("name")
+	}
+}
+
+func TestMACRotation(t *testing.T) {
+	dev, evs := walkEvents(t, 2)
+	rng := rand.New(rand.NewSource(2))
+	out := (MACRotation{PeriodSec: 40}).Apply(dev, evs, rng)
+	if len(out) != len(evs) {
+		t.Fatalf("rotation must not drop events")
+	}
+	macs := deviceMACs(out)
+	if macs[dev] {
+		t.Error("true MAC must never appear")
+	}
+	// 200 s trace with 40 s periods: about 5 pseudonyms.
+	if len(macs) < 3 {
+		t.Errorf("pseudonyms = %d, want several", len(macs))
+	}
+	// Responses stay consistent: every probe response's Addr1 is one of
+	// the pseudonyms.
+	for _, ev := range out {
+		if ev.Frame.Subtype == dot11.SubtypeProbeResp && !macs[ev.Frame.Addr1] {
+			t.Errorf("response addressed to unknown MAC %v", ev.Frame.Addr1)
+		}
+	}
+	// Input untouched.
+	for _, ev := range evs {
+		if ev.Frame.Subtype == dot11.SubtypeProbeRequest && ev.Frame.Addr2 != dev {
+			t.Fatal("policy mutated input events")
+		}
+	}
+	// Zero period: no-op.
+	if got := (MACRotation{}).Apply(dev, evs, rng); len(deviceMACs(got)) != 1 {
+		t.Error("zero-period rotation should be a no-op")
+	}
+}
+
+func TestSilentPeriodsDropTraffic(t *testing.T) {
+	dev, evs := walkEvents(t, 3)
+	rng := rand.New(rand.NewSource(3))
+	out := (SilentPeriods{ActiveSec: 20, SilentSec: 60}).Apply(dev, evs, rng)
+	if len(out) >= len(evs) {
+		t.Errorf("silent periods should drop traffic: %d -> %d", len(evs), len(out))
+	}
+	// Zero config: passthrough.
+	if got := (SilentPeriods{}).Apply(dev, evs, rng); len(got) != len(evs) {
+		t.Error("zero silent period should be a no-op")
+	}
+}
+
+func TestMixZone(t *testing.T) {
+	dev, evs := walkEvents(t, 4)
+	rng := rand.New(rand.NewSource(4))
+	zone := geom.Circle{C: geom.Pt(150, 0), R: 60}
+	out := (MixZone{Zones: []geom.Circle{zone}}).Apply(dev, evs, rng)
+	macsBefore, macsAfter := make(map[dot11.MAC]bool), make(map[dot11.MAC]bool)
+	for _, ev := range out {
+		if ev.Frame.Subtype != dot11.SubtypeProbeRequest {
+			continue
+		}
+		if zone.Contains(ev.Pos) {
+			t.Errorf("device transmitted inside the mix zone at %v", ev.Pos)
+		}
+		if ev.Pos.X < zone.C.X {
+			macsBefore[ev.Frame.Addr2] = true
+		} else {
+			macsAfter[ev.Frame.Addr2] = true
+		}
+	}
+	if len(macsBefore) == 0 || len(macsAfter) == 0 {
+		t.Fatal("expected traffic on both sides of the zone")
+	}
+	for m := range macsAfter {
+		if macsBefore[m] {
+			t.Error("identity survived the mix zone crossing")
+		}
+	}
+}
+
+func TestWildcardProbes(t *testing.T) {
+	dev, _ := walkEvents(t, 5)
+	// Build directed probes.
+	evs := []sim.TxEvent{
+		{TimeSec: 0, Frame: dot11.NewProbeRequest(dev, "home-net", 1)},
+		{TimeSec: 1, Frame: dot11.NewProbeRequest(dev, "work-net", 2)},
+		{TimeSec: 2, Frame: dot11.NewProbeRequest(sim.NewMAC(0xD0, 2), "other", 1)},
+	}
+	out := (WildcardProbes{}).Apply(dev, evs, nil)
+	for i, ev := range out[:2] {
+		if ssid, _ := ev.Frame.SSID(); ssid != "" {
+			t.Errorf("probe %d still carries SSID %q", i, ssid)
+		}
+	}
+	// Other devices' probes untouched.
+	if ssid, _ := out[2].Frame.SSID(); ssid != "other" {
+		t.Error("policy rewrote another device's probe")
+	}
+	// Input untouched.
+	if ssid, _ := evs[0].Frame.SSID(); ssid != "home-net" {
+		t.Error("policy mutated input")
+	}
+}
+
+func TestChain(t *testing.T) {
+	dev, evs := walkEvents(t, 6)
+	rng := rand.New(rand.NewSource(6))
+	c := Chain{MACRotation{PeriodSec: 50}, WildcardProbes{}}
+	if c.Name() != "mac-rotation-50s+wildcard-probes" {
+		t.Errorf("name = %q", c.Name())
+	}
+	out := c.Apply(dev, evs, rng)
+	macs := deviceMACs(out)
+	if macs[dev] {
+		t.Error("true MAC visible through chain")
+	}
+	if (Chain{}).Name() != "none" {
+		t.Error("empty chain name")
+	}
+}
+
+func TestRandomLocalMAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[dot11.MAC]bool)
+	for i := 0; i < 100; i++ {
+		m := randomLocalMAC(rng)
+		if m[0]&0x02 == 0 {
+			t.Fatal("not locally administered")
+		}
+		if m[0]&0x01 != 0 {
+			t.Fatal("multicast bit set")
+		}
+		seen[m] = true
+	}
+	if len(seen) < 99 {
+		t.Error("pseudonyms not unique enough")
+	}
+}

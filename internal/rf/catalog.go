@@ -1,0 +1,104 @@
+package rf
+
+// This file is the component catalog: the actual parts the paper's
+// experiments used (Section IV-A), with data-sheet-level parameters, plus
+// helpers to assemble the four receiver chains of Fig 12.
+
+// Catalog parts.
+var (
+	// HyperLinkHG2415U is the HyperLink 2.4 GHz 15 dBi omnidirectional
+	// antenna on the roof of the CS building.
+	HyperLinkHG2415U = AntennaSpec{Name: "HyperLink HG2415U", GainDBi: 15}
+
+	// TriBandClip4dBi is the tri-band laptop clip-mount antenna used with
+	// the SRC card in the feasibility experiment.
+	TriBandClip4dBi = AntennaSpec{Name: "Tri-band clip mount", GainDBi: 4}
+
+	// DLinkInternal is the D-Link DWL-G650 PCMCIA card's built-in antenna.
+	DLinkInternal = AntennaSpec{Name: "D-Link DWL-G650 internal", GainDBi: 2}
+
+	// RFLambdaLNA is the RF-Lambda narrow-band low noise amplifier:
+	// 45 dB gain, 1.5 dB noise figure.
+	RFLambdaLNA = Component{Name: "RF-Lambda LNA", GainDB: 45, NoiseFigureDB: 1.5}
+
+	// HyperLink4WaySplitter divides the amplified signal to four cards;
+	// ideal division loss 10·log10(4) ≈ 6 dB plus 0.6 dB insertion loss.
+	HyperLink4WaySplitter = Component{Name: "HyperLink 4-way splitter", GainDB: -6.6, NoiseFigureDB: 6.6}
+
+	// CoaxJumper is a short low-loss coaxial jumper with connectors.
+	CoaxJumper = Component{Name: "coax jumper", GainDB: -0.5, NoiseFigureDB: 0.5}
+
+	// UbiquitiSRC is the Ubiquiti Super Range Cardbus SRC 300 mW
+	// 802.11a/b/g card: high-sensitivity receiver (NF ≈ 4 dB).
+	UbiquitiSRC = NIC{Name: "Ubiquiti SRC", NoiseFigureDB: 4, SNRMinDB: 4, BandwidthHz: 22e6}
+
+	// DLinkDWLG650 is a commodity D-Link 802.11g cardbus adapter
+	// (NF ≈ 6 dB).
+	DLinkDWLG650 = NIC{Name: "D-Link DWL-G650", NoiseFigureDB: 6, SNRMinDB: 4, BandwidthHz: 22e6}
+)
+
+// AntennaSpec is a catalog antenna.
+type AntennaSpec struct {
+	Name    string  `json:"name"`
+	GainDBi float64 `json:"gainDbi"`
+}
+
+// Typical transmitters in the monitored environment.
+var (
+	// TypicalAP is a consumer 802.11b/g access point: 17 dBm with a 2 dBi
+	// omni antenna.
+	TypicalAP = Transmitter{PowerDBm: 17, AntennaGainDBi: 2, FreqHz: 2.437e9}
+
+	// TypicalMobile is a laptop/phone client radio: 15 dBm, 0 dBi.
+	TypicalMobile = Transmitter{PowerDBm: 15, AntennaGainDBi: 0, FreqHz: 2.437e9}
+)
+
+// The four receiver chains compared in the paper's Fig 12.
+
+// ChainDLink is the bare D-Link DWL-G650 card ("DLink" in Fig 12).
+func ChainDLink() Chain {
+	return Chain{
+		Name:           "DLink",
+		AntennaGainDBi: DLinkInternal.GainDBi,
+		Card:           DLinkDWLG650,
+	}
+}
+
+// ChainSRC is the Ubiquiti SRC card with the 4 dBi clip antenna ("SRC").
+func ChainSRC() Chain {
+	return Chain{
+		Name:           "SRC",
+		AntennaGainDBi: TriBandClip4dBi.GainDBi,
+		Card:           UbiquitiSRC,
+	}
+}
+
+// ChainHighGain is the 15 dBi HyperLink antenna feeding an SRC card
+// directly, without LNA ("HG2415U").
+func ChainHighGain() Chain {
+	return Chain{
+		Name:           "HG2415U",
+		AntennaGainDBi: HyperLinkHG2415U.GainDBi,
+		Blocks:         []Component{CoaxJumper},
+		Card:           UbiquitiSRC,
+	}
+}
+
+// ChainLNA is the paper's full receiver chain ("LNA"): 15 dBi antenna →
+// RF-Lambda LNA → 4-way splitter → SRC card. The LNA's 45 dB gain makes the
+// chain noise figure ≈ the LNA's 1.5 dB, and each splitter output still
+// sees ≈ 45 − 10·log10(4) ≈ 39 dB of amplification.
+func ChainLNA() Chain {
+	return Chain{
+		Name:           "LNA",
+		AntennaGainDBi: HyperLinkHG2415U.GainDBi,
+		Blocks:         []Component{CoaxJumper, RFLambdaLNA, HyperLink4WaySplitter},
+		Card:           UbiquitiSRC,
+	}
+}
+
+// Fig12Chains returns the four chains of the paper's coverage experiment in
+// presentation order.
+func Fig12Chains() []Chain {
+	return []Chain{ChainDLink(), ChainSRC(), ChainHighGain(), ChainLNA()}
+}

@@ -1,0 +1,206 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWavelength(t *testing.T) {
+	// 2.4 GHz -> ~12.5 cm.
+	l := Wavelength(2.4e9)
+	if l < 0.124 || l > 0.126 {
+		t.Errorf("wavelength = %v, want ~0.125", l)
+	}
+}
+
+func TestDBConversionsRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 100)
+		return math.Abs(LinearToDB(DBToLinear(db))-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := DBToLinear(3.0103); math.Abs(got-2) > 1e-3 {
+		t.Errorf("3 dB = %v, want 2x", got)
+	}
+}
+
+func TestFreeSpacePathLoss(t *testing.T) {
+	// Known value: 2.437 GHz at 100 m -> ~80.2 dB.
+	got := FreeSpacePathLossDB(100, 2.437e9)
+	if math.Abs(got-80.2) > 0.3 {
+		t.Errorf("FSPL(100m, 2.437GHz) = %v, want ~80.2", got)
+	}
+	// 20 dB per decade.
+	d1 := FreeSpacePathLossDB(10, 2.437e9)
+	d2 := FreeSpacePathLossDB(100, 2.437e9)
+	if math.Abs((d2-d1)-20) > 1e-9 {
+		t.Errorf("per-decade slope = %v, want 20", d2-d1)
+	}
+	if got := FreeSpacePathLossDB(0, 2.437e9); got != 0 {
+		t.Errorf("FSPL(0) = %v", got)
+	}
+}
+
+func TestLogDistanceModel(t *testing.T) {
+	ld := LogDistance{Exponent: 3, RefDistM: 1}
+	fs := FreeSpace{}
+	// At the reference distance the models agree.
+	if math.Abs(ld.LossDB(1, 2.4e9)-fs.LossDB(1, 2.4e9)) > 1e-9 {
+		t.Error("log-distance should equal free space at d0")
+	}
+	// 30 dB per decade with exponent 3.
+	diff := ld.LossDB(1000, 2.4e9) - ld.LossDB(100, 2.4e9)
+	if math.Abs(diff-30) > 1e-9 {
+		t.Errorf("slope = %v, want 30", diff)
+	}
+	// Below the reference distance the loss is clamped.
+	if ld.LossDB(0.1, 2.4e9) != ld.LossDB(1, 2.4e9) {
+		t.Error("loss below d0 should clamp")
+	}
+	// Zero RefDistM defaults to 1 m.
+	ld0 := LogDistance{Exponent: 2}
+	if math.Abs(ld0.LossDB(50, 2.4e9)-fs.LossDB(50, 2.4e9)) > 1e-9 {
+		t.Error("exponent-2 log-distance should equal free space")
+	}
+}
+
+func TestFriisCascadeLNADominates(t *testing.T) {
+	// The paper's claim: with a high-gain LNA first, the chain NF becomes
+	// the LNA's. NF improvement over bare card = NF_nic - NF_lna (2.5 dB
+	// for a 4 dB card).
+	lna := ChainLNA()
+	nf := lna.NoiseFigureDB()
+	// Jumper (0.5 dB) ahead of the LNA adds its loss; NF ~ 2.0, well below
+	// the card's 4 dB and close to the LNA's 1.5.
+	if nf < 1.5 || nf > 2.5 {
+		t.Errorf("LNA chain NF = %v, want ~1.5-2.5 dB", nf)
+	}
+	bare := ChainSRC()
+	if math.Abs(bare.NoiseFigureDB()-4) > 1e-9 {
+		t.Errorf("bare SRC NF = %v, want 4", bare.NoiseFigureDB())
+	}
+	if nf >= bare.NoiseFigureDB() {
+		t.Error("LNA must improve the chain noise figure")
+	}
+}
+
+func TestEmptyChainNoiseFigure(t *testing.T) {
+	c := Chain{}
+	if got := c.NoiseFigureDB(); got != 0 {
+		// Card with NF 0: cascade should be 0 dB.
+		t.Errorf("empty chain NF = %v", got)
+	}
+}
+
+func TestChainGainAndSensitivity(t *testing.T) {
+	lna := ChainLNA()
+	// 45 (LNA) - 6.6 (splitter) - 0.5 (jumper) = 37.9 dB net gain, i.e. the
+	// paper's "still achieves ~39 dB of amplification" per splitter thread.
+	if g := lna.GainDB(); math.Abs(g-37.9) > 1e-9 {
+		t.Errorf("chain gain = %v, want 37.9", g)
+	}
+	// Sensitivity = -174 + NF + SNRmin + 10logB ~ -93 dBm for the SRC card.
+	s := ChainSRC().SensitivityDBm()
+	if s < -95 || s > -89 {
+		t.Errorf("SRC sensitivity = %v dBm, want ~-92.6", s)
+	}
+}
+
+func TestCoverageRadiusTheorem1(t *testing.T) {
+	// Theorem 1 closed form must agree with the bisection solver under
+	// free space.
+	for _, chain := range Fig12Chains() {
+		closed := CoverageRadius(TypicalMobile, chain)
+		bisect := CoverageRadiusModel(TypicalMobile, chain, FreeSpace{}, 1e7)
+		if math.Abs(closed-bisect) > 0.01*closed {
+			t.Errorf("%s: closed %v vs bisect %v", chain.Name, closed, bisect)
+		}
+	}
+}
+
+func TestCoverageOrderingFig12(t *testing.T) {
+	// The ordering the paper measures: DLink < SRC < HG2415U <= LNA.
+	model := LogDistance{Exponent: 2.8, RefDistM: 1}
+	radii := make(map[string]float64)
+	for _, chain := range Fig12Chains() {
+		radii[chain.Name] = CoverageRadiusModel(TypicalMobile, chain, model, 1e6)
+	}
+	if !(radii["DLink"] < radii["SRC"] && radii["SRC"] < radii["HG2415U"] &&
+		radii["HG2415U"] <= radii["LNA"]) {
+		t.Errorf("coverage ordering wrong: %v", radii)
+	}
+	// LNA chain lands near the paper's ~1000 m under urban propagation.
+	if radii["LNA"] < 500 || radii["LNA"] > 2500 {
+		t.Errorf("LNA radius = %v m, want ~1000 m", radii["LNA"])
+	}
+}
+
+func TestCoverageRadiusModelEdges(t *testing.T) {
+	// A hopeless chain: huge SNR requirement.
+	bad := Chain{AntennaGainDBi: 0, Card: NIC{NoiseFigureDB: 10, SNRMinDB: 200, BandwidthHz: 22e6}}
+	if got := CoverageRadiusModel(TypicalMobile, bad, FreeSpace{}, 1e6); got != 0 {
+		t.Errorf("hopeless chain radius = %v, want 0", got)
+	}
+	// Cap: chain decodable everywhere within the cap.
+	if got := CoverageRadiusModel(TypicalMobile, ChainLNA(), FreeSpace{}, 10); got != 10 {
+		t.Errorf("capped radius = %v, want 10", got)
+	}
+}
+
+func TestDecodableMonotone(t *testing.T) {
+	chain := ChainSRC()
+	model := LogDistance{Exponent: 3, RefDistM: 1}
+	r := CoverageRadiusModel(TypicalMobile, chain, model, 1e6)
+	if !Decodable(TypicalMobile, chain, r*0.9, model) {
+		t.Error("inside radius must be decodable")
+	}
+	if Decodable(TypicalMobile, chain, r*1.1, model) {
+		t.Error("outside radius must not be decodable")
+	}
+}
+
+func TestSNRDecreasesWithDistanceProperty(t *testing.T) {
+	chain := ChainLNA()
+	model := FreeSpace{}
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		d1 := float64(seed%100000)/100 + 1
+		d2 := d1 * 2
+		return SNRDB(TypicalAP, chain, d1, model) > SNRDB(TypicalAP, chain, d2, model)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitterLoss(t *testing.T) {
+	l, err := SplitterLossDB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-6.0206) > 1e-3 {
+		t.Errorf("4-way loss = %v, want ~6.02", l)
+	}
+	if _, err := SplitterLossDB(0); err == nil {
+		t.Error("want error for 0-way splitter")
+	}
+}
+
+func TestEIRP(t *testing.T) {
+	if got := TypicalAP.EIRPDBm(); got != 19 {
+		t.Errorf("EIRP = %v, want 19", got)
+	}
+}
+
+func BenchmarkCoverageRadiusModel(b *testing.B) {
+	chain := ChainLNA()
+	model := LogDistance{Exponent: 2.8, RefDistM: 1}
+	for i := 0; i < b.N; i++ {
+		CoverageRadiusModel(TypicalMobile, chain, model, 1e6)
+	}
+}

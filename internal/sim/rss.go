@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+// RSSModel produces device-side received-signal-strength readings — what a
+// mobile device itself measures from surrounding APs. The paper's point is
+// that a third-party attacker can NOT obtain these readings (they exist
+// only inside the victim's radio); the simulator exposes them so the
+// classic RSS-based positioning baselines (trilateration, fingerprinting)
+// can be implemented and compared against the set-only Marauder's map.
+type RSSModel struct {
+	// PathLoss is the propagation model; nil means log-distance n=2.8.
+	PathLoss rf.PathLoss
+	// ShadowingSigmaDB adds i.i.d. log-normal shadowing of this standard
+	// deviation to each reading; 0 disables it.
+	ShadowingSigmaDB float64
+	// FloorDBm is the weakest reading a card reports (sensitivity floor);
+	// readings below it are dropped. Zero means -95 dBm.
+	FloorDBm float64
+}
+
+func (m RSSModel) withDefaults() RSSModel {
+	if m.PathLoss == nil {
+		m.PathLoss = rf.LogDistance{Exponent: 2.8, RefDistM: 1}
+	}
+	if m.FloorDBm == 0 {
+		m.FloorDBm = -95
+	}
+	return m
+}
+
+// RSSReading is one AP's signal strength as measured at the device.
+type RSSReading struct {
+	AP      *AP
+	RSSIDBm float64
+}
+
+// ReadRSS returns the device-side RSS readings at pos for every AP whose
+// signal clears the floor, with per-reading shadowing drawn from rng (rng
+// may be nil when ShadowingSigmaDB is 0).
+func (m RSSModel) ReadRSS(w *World, pos geom.Point, rng *rand.Rand) []RSSReading {
+	m = m.withDefaults()
+	var out []RSSReading
+	for _, ap := range w.APs {
+		d := pos.Dist(ap.Pos)
+		if d < 1 {
+			d = 1
+		}
+		rssi := ap.TX.EIRPDBm() - m.PathLoss.LossDB(d, ap.TX.FreqHz)
+		if w.Terrain != nil {
+			rssi -= w.Terrain.ExtraLossDB(pos, ap.Pos)
+		}
+		if m.ShadowingSigmaDB > 0 && rng != nil {
+			rssi += rng.NormFloat64() * m.ShadowingSigmaDB
+		}
+		if rssi < m.FloorDBm {
+			continue
+		}
+		out = append(out, RSSReading{AP: ap, RSSIDBm: rssi})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Terrain adds obstruction loss to a link between two points. The paper's
+// coverage experiment (Fig 12) observes that "the area is not flat and the
+// sniffer is obstructed by small hills"; Hill models that effect.
+type Terrain interface {
+	// ExtraLossDB returns the additional propagation loss in dB a link
+	// between a and b suffers from obstructions.
+	ExtraLossDB(a, b geom.Point) float64
+}
+
+// Flat is unobstructed terrain.
+type Flat struct{}
+
+var _ Terrain = Flat{}
+
+// ExtraLossDB implements Terrain.
+func (Flat) ExtraLossDB(_, _ geom.Point) float64 { return 0 }
+
+// Hill is a circular obstruction: links whose straight-line path crosses
+// the hill incur LossDB of attenuation (knife-edge diffraction, coarsely).
+type Hill struct {
+	Center geom.Point
+	Radius float64
+	LossDB float64
+}
+
+// Hills is a set of circular obstructions.
+type Hills []Hill
+
+var _ Terrain = Hills{}
+
+// ExtraLossDB implements Terrain: each crossed hill adds its loss.
+func (hs Hills) ExtraLossDB(a, b geom.Point) float64 {
+	total := 0.0
+	for _, h := range hs {
+		if segmentIntersectsDisc(a, b, h.Center, h.Radius) {
+			total += h.LossDB
+		}
+	}
+	return total
+}
+
+// segmentIntersectsDisc reports whether segment a-b passes within r of c.
+func segmentIntersectsDisc(a, b, c geom.Point, r float64) bool {
+	ab := b.Sub(a)
+	l2 := ab.X*ab.X + ab.Y*ab.Y
+	var t float64
+	if l2 > 0 {
+		t = ((c.X-a.X)*ab.X + (c.Y-a.Y)*ab.Y) / l2
+		t = math.Max(0, math.Min(1, t))
+	}
+	closest := geom.Point{X: a.X + t*ab.X, Y: a.Y + t*ab.Y}
+	return closest.Dist(c) <= r
+}
+
+// WallGrid models a dense urban block pattern: a constant extra loss per
+// distance, approximating many light obstructions (walls, trees, people).
+type WallGrid struct {
+	// LossDBPerKm is the extra attenuation per kilometre of path.
+	LossDBPerKm float64
+}
+
+var _ Terrain = WallGrid{}
+
+// ExtraLossDB implements Terrain.
+func (g WallGrid) ExtraLossDB(a, b geom.Point) float64 {
+	return g.LossDBPerKm * a.Dist(b) / 1000
+}

@@ -1,0 +1,213 @@
+// Package sim is the campus-scale wireless world simulator that substitutes
+// for the paper's physical testbed. It models access points, mobile devices
+// with OS-specific probing behaviour, mobility, terrain obstruction and
+// radio propagation, and generates the 802.11 management traffic the
+// sniffer component captures.
+//
+// The paper's localization analysis assumes the spherical worst-case model
+// (every AP reachable within its maximum transmission distance); the
+// simulator supports both that model and a link-budget model driven by
+// package rf, so experiments can quantify how much reality deviates from
+// the analysis.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/rf"
+)
+
+// AP is a simulated access point.
+type AP struct {
+	ID   string    `json:"id"`
+	MAC  dot11.MAC `json:"mac"`
+	SSID string    `json:"ssid"`
+	// Pos is the AP's true position in the local plane (metres).
+	Pos geom.Point `json:"pos"`
+	// Channel is the 2.4 GHz channel the AP beacons on.
+	Channel int `json:"channel"`
+	// MaxRange is the maximum transmission distance r_i of the spherical
+	// model, in metres.
+	MaxRange float64 `json:"maxRange"`
+	// TX describes the AP's radio for link-budget propagation.
+	TX rf.Transmitter `json:"tx"`
+}
+
+// Disc returns the AP's maximum-coverage disc.
+func (a *AP) Disc() geom.Circle { return geom.Circle{C: a.Pos, R: a.MaxRange} }
+
+// Device is a simulated mobile device.
+type Device struct {
+	MAC dot11.MAC `json:"mac"`
+	// Profile controls probing behaviour and presence.
+	Profile Profile `json:"profile"`
+	// Mobility produces the device's position over time; nil means the
+	// device stays at Home.
+	Mobility Mobility `json:"-"`
+	// Home is the device's position when Mobility is nil.
+	Home geom.Point `json:"home"`
+	// TX describes the device's radio.
+	TX rf.Transmitter `json:"tx"`
+}
+
+// PosAt returns the device position at simulation time t (seconds).
+func (d *Device) PosAt(t float64) geom.Point {
+	if d.Mobility == nil {
+		return d.Home
+	}
+	return d.Mobility.PosAt(t)
+}
+
+// PropagationModel selects how communicability is decided.
+type PropagationModel int
+
+// Propagation models.
+const (
+	// ModelSpherical is the paper's worst-case disc model: a device can
+	// communicate with an AP iff it is within the AP's MaxRange.
+	ModelSpherical PropagationModel = iota + 1
+	// ModelLinkBudget decides communicability from the rf link budget in
+	// both directions plus terrain loss.
+	ModelLinkBudget
+	// ModelSphericalObstructed is the spherical model with hard terrain
+	// shadowing: a device communicates with an AP iff it is within the
+	// AP's MaxRange AND the straight-line path crosses no obstruction.
+	// Real coverage is then a subset of the nominal disc — the situation
+	// the paper's worst-case argument (§III-A) addresses.
+	ModelSphericalObstructed
+)
+
+// World holds the simulated campus.
+type World struct {
+	// APs are the deployed access points.
+	APs []*AP
+	// Devices are the mobile devices.
+	Devices []*Device
+	// Terrain adds obstruction loss between points; nil means flat.
+	Terrain Terrain
+	// Model selects the communicability rule. Zero value behaves as
+	// ModelSpherical.
+	Model PropagationModel
+	// DeviceChain is the mobile-side receive chain used for the
+	// link-budget model (a typical internal antenna + card).
+	DeviceChain rf.Chain
+
+	rng *rand.Rand
+}
+
+// NewWorld creates an empty world with a deterministic random source.
+func NewWorld(seed int64) *World {
+	return &World{
+		Model:       ModelSpherical,
+		DeviceChain: rf.ChainDLink(),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// RNG exposes the world's deterministic random source.
+func (w *World) RNG() *rand.Rand { return w.rng }
+
+// AddAP appends an AP.
+func (w *World) AddAP(ap *AP) { w.APs = append(w.APs, ap) }
+
+// AddDevice appends a device.
+func (w *World) AddDevice(d *Device) { w.Devices = append(w.Devices, d) }
+
+// APByMAC returns the AP with the given BSSID.
+func (w *World) APByMAC(mac dot11.MAC) (*AP, bool) {
+	for _, ap := range w.APs {
+		if ap.MAC == mac {
+			return ap, true
+		}
+	}
+	return nil, false
+}
+
+// Communicable reports whether a device at pos can exchange probe traffic
+// with the AP under the world's propagation model.
+func (w *World) Communicable(pos geom.Point, ap *AP) bool {
+	switch w.Model {
+	case ModelSphericalObstructed:
+		if pos.Dist(ap.Pos) > ap.MaxRange {
+			return false
+		}
+		return w.Terrain == nil || w.Terrain.ExtraLossDB(pos, ap.Pos) == 0
+	case ModelLinkBudget:
+		extra := 0.0
+		if w.Terrain != nil {
+			extra = w.Terrain.ExtraLossDB(pos, ap.Pos)
+		}
+		d := pos.Dist(ap.Pos)
+		model := shiftedLoss{base: rf.LogDistance{Exponent: 2.8, RefDistM: 1}, extraDB: extra}
+		// Probing is bidirectional: the AP must hear the probe request and
+		// the device must hear the response.
+		apChain := rf.Chain{AntennaGainDBi: ap.TX.AntennaGainDBi, Card: rf.UbiquitiSRC}
+		up := rf.Decodable(deviceTX(pos, ap), apChain, d, model)
+		down := rf.Decodable(ap.TX, w.DeviceChain, d, model)
+		return up && down
+	default: // ModelSpherical and zero value
+		return pos.Dist(ap.Pos) <= ap.MaxRange
+	}
+}
+
+// deviceTX builds the uplink transmitter for a device at pos probing ap.
+func deviceTX(_ geom.Point, ap *AP) rf.Transmitter {
+	tx := rf.TypicalMobile
+	tx.FreqHz = ap.TX.FreqHz
+	return tx
+}
+
+// CommunicableAPs returns the set Γ of APs a device at pos can communicate
+// with — the observation the Marauder's map localization consumes.
+func (w *World) CommunicableAPs(pos geom.Point) []*AP {
+	var out []*AP
+	for _, ap := range w.APs {
+		if w.Communicable(pos, ap) {
+			out = append(out, ap)
+		}
+	}
+	return out
+}
+
+// shiftedLoss adds a constant obstruction loss to a base path-loss model.
+type shiftedLoss struct {
+	base    rf.PathLoss
+	extraDB float64
+}
+
+var _ rf.PathLoss = shiftedLoss{}
+
+func (s shiftedLoss) LossDB(distM, freqHz float64) float64 {
+	return s.base.LossDB(distM, freqHz) + s.extraDB
+}
+
+// NewMAC deterministically derives a locally-administered MAC address from
+// a namespace byte and an index.
+func NewMAC(namespace byte, idx int) dot11.MAC {
+	return dot11.MAC{
+		0x02, namespace,
+		byte(idx >> 24), byte(idx >> 16), byte(idx >> 8), byte(idx),
+	}
+}
+
+// NewAP constructs an AP with sensible defaults on the given channel.
+func NewAP(idx int, ssid string, pos geom.Point, channel int, maxRange float64) (*AP, error) {
+	freq, err := dot11.ChannelFreqHz(channel)
+	if err != nil {
+		return nil, fmt.Errorf("sim: ap %d: %w", idx, err)
+	}
+	tx := rf.TypicalAP
+	tx.FreqHz = freq
+	return &AP{
+		ID:       fmt.Sprintf("ap-%04d", idx),
+		MAC:      NewMAC(0xA0, idx),
+		SSID:     ssid,
+		Pos:      pos,
+		Channel:  channel,
+		MaxRange: maxRange,
+		TX:       tx,
+	}, nil
+}

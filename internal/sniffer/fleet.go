@@ -1,0 +1,70 @@
+package sniffer
+
+import (
+	"sort"
+
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// Fleet is a set of cooperating sniffer sites whose captures are merged —
+// the natural scale-out of the paper's single-antenna design when one roof
+// cannot cover the whole target area. Every member sees the same event
+// stream; a frame is captured once if any member decodes it, keeping the
+// best-SNR copy.
+type Fleet struct {
+	members []*Sniffer
+}
+
+// NewFleet builds a fleet from sniffer configurations.
+func NewFleet(configs ...Config) *Fleet {
+	f := &Fleet{members: make([]*Sniffer, 0, len(configs))}
+	for _, cfg := range configs {
+		f.members = append(f.members, New(cfg))
+	}
+	return f
+}
+
+// Members returns the fleet's sniffer count.
+func (f *Fleet) Members() int { return len(f.members) }
+
+// TryCapture reports whether any fleet member decodes the event; the
+// best-SNR capture wins.
+func (f *Fleet) TryCapture(ev sim.TxEvent) (Capture, bool) {
+	var best Capture
+	ok := false
+	for _, s := range f.members {
+		c, captured := s.TryCapture(ev)
+		if !captured {
+			continue
+		}
+		if !ok || c.SNRDB > best.SNRDB {
+			best = c
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// CaptureAll filters an event stream to frames decoded by at least one
+// member, each counted once, in time order.
+func (f *Fleet) CaptureAll(events []sim.TxEvent) []Capture {
+	out := make([]Capture, 0, len(events))
+	for _, ev := range events {
+		if c, ok := f.TryCapture(ev); ok {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeSec < out[j].TimeSec })
+	return out
+}
+
+// CoverageRadii returns each member's on-channel coverage radius for the
+// given transmitter, in member order.
+func (f *Fleet) CoverageRadii(tx rf.Transmitter) []float64 {
+	out := make([]float64, 0, len(f.members))
+	for _, s := range f.members {
+		out = append(out, s.CoverageRadius(tx))
+	}
+	return out
+}

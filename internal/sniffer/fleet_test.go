@@ -1,0 +1,72 @@
+package sniffer
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+func TestFleetWidensCoverage(t *testing.T) {
+	single := NewFleet(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	pair := NewFleet(
+		Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()},
+		Config{Pos: geom.Pt(2000, 0), Chain: rf.ChainLNA()},
+	)
+	if single.Members() != 1 || pair.Members() != 2 {
+		t.Fatal("member counts wrong")
+	}
+	// A frame near the second site: only the pair captures it.
+	far := probeEventAt(geom.Pt(2100, 0), 6)
+	if _, ok := single.TryCapture(far); ok {
+		t.Error("single site should miss the far frame")
+	}
+	if _, ok := pair.TryCapture(far); !ok {
+		t.Error("fleet should capture near its second site")
+	}
+}
+
+func TestFleetDeduplicatesAndKeepsBestSNR(t *testing.T) {
+	pair := NewFleet(
+		Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()},
+		Config{Pos: geom.Pt(500, 0), Chain: rf.ChainLNA()},
+	)
+	// A frame near site 2: both decode, but site 2's SNR is higher.
+	ev := probeEventAt(geom.Pt(450, 0), 6)
+	got := pair.CaptureAll([]sim.TxEvent{ev})
+	if len(got) != 1 {
+		t.Fatalf("captured %d copies, want 1", len(got))
+	}
+	near := New(Config{Pos: geom.Pt(500, 0), Chain: rf.ChainLNA()})
+	want, ok := near.TryCapture(ev)
+	if !ok {
+		t.Fatal("near site should capture")
+	}
+	if got[0].SNRDB != want.SNRDB {
+		t.Errorf("fleet kept SNR %v, want the better %v", got[0].SNRDB, want.SNRDB)
+	}
+}
+
+func TestFleetCoverageRadii(t *testing.T) {
+	fleet := NewFleet(
+		Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()},
+		Config{Pos: geom.Pt(0, 0), Chain: rf.ChainDLink()},
+	)
+	radii := fleet.CoverageRadii(rf.TypicalMobile)
+	if len(radii) != 2 || radii[0] <= radii[1] {
+		t.Errorf("radii = %v, want LNA > DLink", radii)
+	}
+}
+
+func TestFleetTimeOrder(t *testing.T) {
+	fleet := NewFleet(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	a := probeEventAt(geom.Pt(10, 0), 6)
+	b := probeEventAt(geom.Pt(20, 0), 1)
+	a.TimeSec = 5
+	b.TimeSec = 1
+	caps := fleet.CaptureAll([]sim.TxEvent{a, b})
+	if len(caps) != 2 || caps[0].TimeSec > caps[1].TimeSec {
+		t.Errorf("captures not time-ordered: %+v", caps)
+	}
+}

@@ -1,0 +1,261 @@
+// Package sniffer implements the digital Marauder's map wireless traffic
+// capture component: a receiver chain (package rf) split across several
+// monitoring cards on a channel plan (package dot11), capturing the
+// simulated 802.11 traffic of package sim.
+//
+// Each transmitted frame is captured iff (i) some card listens on exactly
+// the frame's channel (the paper's Fig 9 shows adjacent-channel decoding
+// does not happen in practice, however strong the leaked energy) and
+// (ii) the link budget closes: the frame's SNR at the sniffer, after path
+// loss and terrain obstruction, exceeds the card's minimum.
+package sniffer
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/pcap"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// Config configures a sniffer deployment.
+type Config struct {
+	// Pos is the sniffer's position (e.g. the CS building roof).
+	Pos geom.Point
+	// Chain is the receiver chain (antenna, LNA, splitter, card).
+	Chain rf.Chain
+	// Plan assigns monitoring cards to channels.
+	Plan dot11.ChannelPlan
+	// Terrain adds obstruction loss; nil means flat.
+	Terrain sim.Terrain
+	// PathLoss is the propagation model; nil uses log-distance n=2.8.
+	PathLoss rf.PathLoss
+}
+
+// Sniffer captures wireless traffic at a fixed location.
+type Sniffer struct {
+	cfg Config
+}
+
+// New creates a Sniffer, applying defaults for unset optional fields.
+func New(cfg Config) *Sniffer {
+	if cfg.PathLoss == nil {
+		cfg.PathLoss = rf.LogDistance{Exponent: 2.8, RefDistM: 1}
+	}
+	if cfg.Terrain == nil {
+		cfg.Terrain = sim.Flat{}
+	}
+	if len(cfg.Plan.Cards) == 0 {
+		cfg.Plan = dot11.DefaultPlan()
+	}
+	return &Sniffer{cfg: cfg}
+}
+
+// Capture is one successfully decoded frame.
+type Capture struct {
+	// TimeSec is the capture time in trace seconds.
+	TimeSec float64
+	// Frame is the decoded frame.
+	Frame *dot11.Frame
+	// Channel is the frame's transmit channel.
+	Channel int
+	// CardChannel is the monitoring card that decoded it.
+	CardChannel int
+	// SNRDB is the demodulator SNR.
+	SNRDB float64
+	// FromAP marks AP-originated frames.
+	FromAP bool
+}
+
+// snr computes the frame's SNR at the sniffer including terrain loss and
+// cross-channel leakage.
+func (s *Sniffer) snr(ev sim.TxEvent, cardCh int) float64 {
+	d := ev.Pos.Dist(s.cfg.Pos)
+	base := rf.SNRDB(ev.TX, s.cfg.Chain, math.Max(d, 1), s.cfg.PathLoss)
+	base -= s.cfg.Terrain.ExtraLossDB(ev.Pos, s.cfg.Pos)
+	base -= dot11.LeakageDB(ev.Channel, cardCh)
+	return base
+}
+
+// TryCapture reports whether the sniffer decodes the event, and on which
+// card with what SNR. When several cards can decode it, the best SNR wins.
+func (s *Sniffer) TryCapture(ev sim.TxEvent) (Capture, bool) {
+	best := Capture{SNRDB: math.Inf(-1)}
+	ok := false
+	for _, cardCh := range s.cfg.Plan.Cards {
+		snr := s.snr(ev, cardCh)
+		if snr <= s.cfg.Chain.Card.SNRMinDB {
+			continue
+		}
+		if !dot11.DecodableCrossChannel(ev.Channel, cardCh) {
+			continue
+		}
+		if snr > best.SNRDB {
+			best = Capture{
+				TimeSec:     ev.TimeSec,
+				Frame:       ev.Frame,
+				Channel:     ev.Channel,
+				CardChannel: cardCh,
+				SNRDB:       snr,
+				FromAP:      ev.FromAP,
+			}
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// CaptureAll filters an event stream to the frames this sniffer decodes.
+func (s *Sniffer) CaptureAll(events []sim.TxEvent) []Capture {
+	out := make([]Capture, 0, len(events))
+	for _, ev := range events {
+		if c, ok := s.TryCapture(ev); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CoverageRadius returns the maximum distance at which the sniffer decodes
+// an on-channel frame from the given transmitter under its propagation
+// model (ignoring terrain, which is direction-dependent).
+func (s *Sniffer) CoverageRadius(tx rf.Transmitter) float64 {
+	return rf.CoverageRadiusModel(tx, s.cfg.Chain, s.cfg.PathLoss, 1e6)
+}
+
+// LinkTypeRadiotap is pcap link type 127 (radiotap-prefixed 802.11).
+const LinkTypeRadiotap pcap.LinkType = 127
+
+// WritePcap serializes captures to a pcap stream (LinkTypeIEEE80211) with
+// timestamps offset from the given start time.
+func (s *Sniffer) WritePcap(w io.Writer, start time.Time, caps []Capture) error {
+	return s.writePcap(w, start, caps, false)
+}
+
+// WritePcapRadiotap serializes captures with a radiotap header per frame
+// (LinkType 127), preserving capture channel and signal strength the way
+// real sniffing stacks do.
+func (s *Sniffer) WritePcapRadiotap(w io.Writer, start time.Time, caps []Capture) error {
+	return s.writePcap(w, start, caps, true)
+}
+
+func (s *Sniffer) writePcap(w io.Writer, start time.Time, caps []Capture, radiotap bool) error {
+	link := pcap.LinkTypeIEEE80211
+	if radiotap {
+		link = LinkTypeRadiotap
+	}
+	pw := pcap.NewWriter(w, link)
+	for i, c := range caps {
+		raw, err := c.Frame.Encode()
+		if err != nil {
+			return fmt.Errorf("sniffer: encode capture %d: %w", i, err)
+		}
+		if radiotap {
+			freq, err := dot11.ChannelFreqHz(c.Channel)
+			if err != nil {
+				return fmt.Errorf("sniffer: capture %d channel: %w", i, err)
+			}
+			noise := rf.ThermalNoiseDBmPerHz + s.cfg.Chain.NoiseFigureDB() +
+				10*math.Log10(s.cfg.Chain.Card.BandwidthHz)
+			raw = dot11.EncodeRadiotap(dot11.Radiotap{
+				ChannelMHz: uint16(freq / 1e6),
+				SignalDBm:  clampI8(c.SNRDB + noise),
+				NoiseDBm:   clampI8(noise),
+			}, raw)
+		}
+		ts := start.Add(time.Duration(c.TimeSec * float64(time.Second)))
+		if err := pw.WritePacket(pcap.Packet{Time: ts, Data: raw}); err != nil {
+			return fmt.Errorf("sniffer: write capture %d: %w", i, err)
+		}
+	}
+	return pw.WriteHeader()
+}
+
+func clampI8(v float64) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// ReadPcap parses a pcap stream back into captures. Radiotap captures
+// (link type 127) restore per-frame channel and signal; bare-802.11
+// captures come back with zero channel and SNR.
+func ReadPcap(r io.Reader, start time.Time) ([]Capture, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := pr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	caps := make([]Capture, 0, len(pkts))
+	for i, p := range pkts {
+		data := p.Data
+		var c Capture
+		if pr.LinkType() == LinkTypeRadiotap {
+			rt, body, err := dot11.DecodeRadiotap(data)
+			if err != nil {
+				return nil, fmt.Errorf("sniffer: radiotap packet %d: %w", i, err)
+			}
+			data = body
+			c.Channel = rt.Channel()
+			c.SNRDB = float64(rt.SignalDBm) - float64(rt.NoiseDBm)
+		}
+		f, err := dot11.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("sniffer: decode packet %d: %w", i, err)
+		}
+		c.TimeSec = p.Time.Sub(start).Seconds()
+		c.Frame = f
+		caps = append(caps, c)
+	}
+	return caps, nil
+}
+
+// ActiveAttack models the paper's active probing-traffic collection: the
+// adversary transmits spoofed deauthentication frames, forcing associated
+// (quiet) devices to rescan. It returns the provoked traffic: a deauth per
+// device followed by the device's scan burst, raising the fraction of
+// probing mobiles toward 100%.
+func ActiveAttack(w *sim.World, atTimeSec float64) []sim.TxEvent {
+	var events []sim.TxEvent
+	seq := uint16(1)
+	for _, dev := range w.Devices {
+		pos := dev.PosAt(atTimeSec)
+		aps := w.CommunicableAPs(pos)
+		if len(aps) == 0 {
+			continue
+		}
+		deauth := &dot11.Frame{
+			Type:    dot11.TypeManagement,
+			Subtype: dot11.SubtypeDeauth,
+			Addr1:   dev.MAC,
+			Addr2:   aps[0].MAC, // spoofed as the AP
+			Addr3:   aps[0].MAC,
+			Seq:     seq,
+		}
+		tx := rf.TypicalAP
+		tx.FreqHz = aps[0].TX.FreqHz
+		events = append(events, sim.TxEvent{
+			TimeSec: atTimeSec,
+			Pos:     pos, // attack frame reaches the device; attacker position immaterial here
+			Channel: aps[0].Channel,
+			Frame:   deauth,
+			TX:      tx,
+		})
+		// The deauthenticated client rescans 100 ms later.
+		events = append(events, sim.ScanBurst(w, dev, atTimeSec+0.1, pos, seq+1)...)
+		seq += 2
+	}
+	return events
+}

@@ -1,0 +1,268 @@
+package sniffer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+func roofSniffer(extra ...func(*Config)) *Sniffer {
+	cfg := Config{
+		Pos:   geom.Pt(0, 0),
+		Chain: rf.ChainLNA(),
+		Plan:  dot11.DefaultPlan(),
+	}
+	for _, f := range extra {
+		f(&cfg)
+	}
+	return New(cfg)
+}
+
+func probeEventAt(pos geom.Point, ch int) sim.TxEvent {
+	freq, _ := dot11.ChannelFreqHz(ch)
+	tx := rf.TypicalMobile
+	tx.FreqHz = freq
+	return sim.TxEvent{
+		TimeSec: 1,
+		Pos:     pos,
+		Channel: ch,
+		Frame:   dot11.NewProbeRequest(dot11.MAC{2, 0, 0, 0, 0, 1}, "", 1),
+		TX:      tx,
+	}
+}
+
+func TestTryCaptureOnChannel(t *testing.T) {
+	s := roofSniffer()
+	c, ok := s.TryCapture(probeEventAt(geom.Pt(100, 0), 6))
+	if !ok {
+		t.Fatal("100 m on-channel frame must be captured")
+	}
+	if c.CardChannel != 6 {
+		t.Errorf("card = %d, want 6", c.CardChannel)
+	}
+	if c.SNRDB <= 0 {
+		t.Errorf("SNR = %v", c.SNRDB)
+	}
+}
+
+func TestTryCaptureOutOfRange(t *testing.T) {
+	s := roofSniffer()
+	if _, ok := s.TryCapture(probeEventAt(geom.Pt(100000, 0), 6)); ok {
+		t.Error("100 km frame must not be captured")
+	}
+}
+
+// The paper's Fig 9: a transmission on channel 11 is recognized by the
+// channel-11 card but not by cards on neighbouring channels.
+func TestCrossChannelRejection(t *testing.T) {
+	for rx := 1; rx <= 11; rx++ {
+		s := roofSniffer(func(c *Config) {
+			c.Plan = dot11.ChannelPlan{Cards: []int{rx}}
+		})
+		_, ok := s.TryCapture(probeEventAt(geom.Pt(500, 0), 11))
+		if rx == 11 && !ok {
+			t.Errorf("card on 11 must decode channel 11")
+		}
+		if rx != 11 && ok {
+			t.Errorf("card on %d should not decode a 500 m channel-11 frame", rx)
+		}
+	}
+}
+
+func TestTerrainBlocksCapture(t *testing.T) {
+	blocked := roofSniffer(func(c *Config) {
+		c.Terrain = sim.Hills{{Center: geom.Pt(400, 0), Radius: 50, LossDB: 60}}
+	})
+	open := roofSniffer()
+	ev := probeEventAt(geom.Pt(800, 0), 6)
+	if _, ok := open.TryCapture(ev); !ok {
+		t.Fatal("unobstructed 800 m frame should be captured by the LNA chain")
+	}
+	if _, ok := blocked.TryCapture(ev); ok {
+		t.Error("hill-obstructed frame should be lost")
+	}
+	evSide := probeEventAt(geom.Pt(0, 800), 6)
+	if _, ok := blocked.TryCapture(evSide); !ok {
+		t.Error("frame from an unobstructed bearing should be captured")
+	}
+}
+
+func TestCaptureAllAndCoverage(t *testing.T) {
+	s := roofSniffer()
+	evs := []sim.TxEvent{
+		probeEventAt(geom.Pt(50, 0), 1),
+		probeEventAt(geom.Pt(50, 0), 3), // off-plan channel
+		probeEventAt(geom.Pt(99999, 0), 6),
+	}
+	caps := s.CaptureAll(evs)
+	if len(caps) != 1 {
+		t.Fatalf("captured %d, want 1", len(caps))
+	}
+	r := s.CoverageRadius(rf.TypicalMobile)
+	if r < 500 || r > 2500 {
+		t.Errorf("LNA coverage radius = %v m, want ~1 km", r)
+	}
+}
+
+func TestBetterChainCapturesMore(t *testing.T) {
+	lna := roofSniffer()
+	dlink := roofSniffer(func(c *Config) { c.Chain = rf.ChainDLink() })
+	// A frame at 400 m: LNA hears it, the bare DLink card does not.
+	ev := probeEventAt(geom.Pt(400, 0), 6)
+	if _, ok := lna.TryCapture(ev); !ok {
+		t.Error("LNA chain should capture at 400 m")
+	}
+	if _, ok := dlink.TryCapture(ev); ok {
+		t.Error("DLink card should not capture at 400 m")
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	s := roofSniffer()
+	w := sim.NewWorld(1)
+	ap, err := sim.NewAP(0, "net", geom.Pt(50, 0), 6, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddAP(ap)
+	dev := &sim.Device{MAC: sim.NewMAC(0xD0, 1), Home: geom.Pt(20, 0), TX: rf.TypicalMobile}
+	w.AddDevice(dev)
+	evs := sim.ScanBurst(w, dev, 0, dev.Home, 1)
+	caps := s.CaptureAll(evs)
+	if len(caps) == 0 {
+		t.Fatal("no captures")
+	}
+	var buf bytes.Buffer
+	start := time.Date(2008, 10, 24, 0, 0, 0, 0, time.UTC)
+	if err := s.WritePcap(&buf, start, caps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(caps) {
+		t.Fatalf("round trip %d != %d", len(got), len(caps))
+	}
+	for i := range got {
+		if got[i].Frame.Subtype != caps[i].Frame.Subtype {
+			t.Errorf("capture %d subtype mismatch", i)
+		}
+		if math.Abs(got[i].TimeSec-caps[i].TimeSec) > 1e-3 {
+			t.Errorf("capture %d time %v vs %v", i, got[i].TimeSec, caps[i].TimeSec)
+		}
+	}
+}
+
+func TestWritePcapEmptyStillHasHeader(t *testing.T) {
+	s := roofSniffer()
+	var buf bytes.Buffer
+	if err := s.WritePcap(&buf, time.Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Errorf("empty pcap = %d bytes, want 24", buf.Len())
+	}
+}
+
+// Active attack: quiet devices that never probe are provoked into scan
+// bursts, so the sniffer sees probe requests from them too.
+func TestActiveAttackProvokesQuietDevices(t *testing.T) {
+	w := sim.NewWorld(2)
+	ap, err := sim.NewAP(0, "net", geom.Pt(0, 0), 6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddAP(ap)
+	quiet := &sim.Device{
+		MAC:     sim.NewMAC(0xD0, 9),
+		Profile: sim.ProfileQuietClient,
+		Home:    geom.Pt(50, 0),
+		TX:      rf.TypicalMobile,
+	}
+	w.AddDevice(quiet)
+	evs := ActiveAttack(w, 10)
+	sawDeauth, sawProbe := false, false
+	for _, ev := range evs {
+		switch ev.Frame.Subtype {
+		case dot11.SubtypeDeauth:
+			sawDeauth = true
+			if ev.Frame.Addr1 != quiet.MAC {
+				t.Error("deauth must target the device")
+			}
+		case dot11.SubtypeProbeRequest:
+			if ev.Frame.Addr2 == quiet.MAC {
+				sawProbe = true
+			}
+		}
+	}
+	if !sawDeauth || !sawProbe {
+		t.Errorf("deauth=%v probe=%v, want both", sawDeauth, sawProbe)
+	}
+	// A device out of everyone's range is not attackable.
+	w2 := sim.NewWorld(3)
+	w2.AddAP(ap)
+	w2.AddDevice(&sim.Device{MAC: sim.NewMAC(0xD0, 10), Home: geom.Pt(9999, 9999)})
+	if evs := ActiveAttack(w2, 0); len(evs) != 0 {
+		t.Errorf("unreachable device provoked %d events", len(evs))
+	}
+}
+
+func BenchmarkCaptureAll(b *testing.B) {
+	s := roofSniffer()
+	w := sim.NewWorld(7)
+	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
+		N: 100, Min: geom.Pt(-500, -500), Max: geom.Pt(500, 500),
+		RangeMin: 100, RangeMax: 100,
+	}, w.RNG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.APs = aps
+	dev := &sim.Device{MAC: sim.NewMAC(0xD0, 1), Home: geom.Pt(100, 100), TX: rf.TypicalMobile}
+	evs := sim.ScanBurst(w, dev, 0, dev.Home, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CaptureAll(evs)
+	}
+}
+
+func TestPcapRadiotapRoundTrip(t *testing.T) {
+	s := roofSniffer()
+	evs := []sim.TxEvent{
+		probeEventAt(geom.Pt(50, 0), 1),
+		probeEventAt(geom.Pt(80, 20), 6),
+		probeEventAt(geom.Pt(200, -40), 11),
+	}
+	caps := s.CaptureAll(evs)
+	if len(caps) != 3 {
+		t.Fatalf("captured %d", len(caps))
+	}
+	var buf bytes.Buffer
+	start := time.Date(2008, 10, 24, 0, 0, 0, 0, time.UTC)
+	if err := s.WritePcapRadiotap(&buf, start, caps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d", len(got))
+	}
+	for i := range got {
+		if got[i].Channel != caps[i].Channel {
+			t.Errorf("capture %d channel = %d, want %d", i, got[i].Channel, caps[i].Channel)
+		}
+		// SNR round-trips through integer dBm fields: within 1 dB.
+		if math.Abs(got[i].SNRDB-caps[i].SNRDB) > 1.0 {
+			t.Errorf("capture %d snr = %v, want ~%v", i, got[i].SNRDB, caps[i].SNRDB)
+		}
+	}
+}

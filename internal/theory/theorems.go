@@ -1,0 +1,152 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// IntersectedArea evaluates Theorem 2: the expected size of the intersected
+// area produced by the disc-intersection approach for a mobile device
+// communicable with k APs of maximum transmission distance r, when APs are
+// uniformly distributed:
+//
+//	CA = 8πr² ∫₀¹ y·p(y)ᵏ dy,   p(y) = (2/π)(cos⁻¹y − y√(1−y²))
+//
+// (the paper's Eq. 20 in its unreduced form).
+func IntersectedArea(k int, r float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: k must be ≥ 1, got %d", k)
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("theory: r must be > 0, got %v", r)
+	}
+	integrand := func(y float64) float64 {
+		if y >= 1 {
+			return 0
+		}
+		p := (2 / math.Pi) * (math.Acos(y) - y*math.Sqrt(1-y*y))
+		return y * math.Pow(p, float64(k))
+	}
+	v, err := IntegratePeaked(integrand, 0, 1, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	return 8 * math.Pi * r * r * v, nil
+}
+
+// IntersectedAreaForDensity evaluates Corollary 1's density form: with AP
+// density ρ (APs per square metre), the expected number of communicable
+// APs is k = πr²ρ, and the expected intersected area follows Theorem 2
+// with that k (rounded to the nearest integer ≥ 1).
+func IntersectedAreaForDensity(r, rho float64) (float64, error) {
+	if rho <= 0 {
+		return 0, fmt.Errorf("theory: density must be > 0, got %v", rho)
+	}
+	k := int(math.Round(math.Pi * r * r * rho))
+	if k < 1 {
+		k = 1
+	}
+	return IntersectedArea(k, r)
+}
+
+// OverestimatedArea evaluates Theorem 3's R ≥ r case: the expected
+// intersected area when the true maximum transmission distance is r but
+// the attacker uses estimate R:
+//
+//	CA = π ∫₀^{2R} (A(x; r, R) / (πr²))ᵏ d(x²)
+//
+// where A(x; r, R) is the lens area of circles with radii r and R at
+// centre distance x (A = πr² for x ≤ R − r, since the r-circle then lies
+// inside the R-circle).
+func OverestimatedArea(k int, r, estR float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: k must be ≥ 1, got %d", k)
+	}
+	if r <= 0 || estR < r {
+		return 0, fmt.Errorf("theory: need estR ≥ r > 0, got r=%v estR=%v", r, estR)
+	}
+	c1 := geom.Circle{C: geom.Pt(0, 0), R: r}
+	// Integrate over u = x² to match the paper's d(x²) measure.
+	integrand := func(u float64) float64 {
+		x := math.Sqrt(u)
+		a := c1.LensArea(geom.Circle{C: geom.Pt(x, 0), R: estR})
+		return math.Pow(a/(math.Pi*r*r), float64(k))
+	}
+	v, err := IntegratePeaked(integrand, 0, 4*estR*estR, 1e-10)
+	if err != nil {
+		return 0, err
+	}
+	return math.Pi * v, nil
+}
+
+// UnderestimateCoverage evaluates Theorem 3's R < r case: the probability
+// that the intersected area computed with underestimate R still covers the
+// device's true location, p = (R/r)^{2k}.
+func UnderestimateCoverage(k int, r, estR float64) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("theory: k must be ≥ 1, got %d", k)
+	}
+	if r <= 0 || estR < 0 || estR >= r {
+		return 0, fmt.Errorf("theory: need 0 ≤ estR < r, got r=%v estR=%v", r, estR)
+	}
+	return math.Pow(estR/r, 2*float64(k)), nil
+}
+
+// MonteCarloIntersectedArea estimates Theorem 2's CA empirically: place the
+// mobile at the origin, draw k APs uniformly in its communication disc of
+// radius r, and average the exact intersection area of the APs'
+// maximum-coverage discs (radius estR, which equals r for Theorem 2 and
+// exceeds it for Theorem 3) over trials.
+func MonteCarloIntersectedArea(k int, r, estR float64, trials int, rng *rand.Rand) (float64, error) {
+	if k < 1 || trials < 1 {
+		return 0, fmt.Errorf("theory: need k ≥ 1 and trials ≥ 1")
+	}
+	if r <= 0 || estR <= 0 {
+		return 0, fmt.Errorf("theory: need positive radii")
+	}
+	sum := 0.0
+	discs := make([]geom.Circle, k)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < k; i++ {
+			// Uniform in the disc of radius r.
+			d := r * math.Sqrt(rng.Float64())
+			ang := 2 * math.Pi * rng.Float64()
+			discs[i] = geom.Circle{
+				C: geom.Pt(d*math.Cos(ang), d*math.Sin(ang)),
+				R: estR,
+			}
+		}
+		sum += geom.IntersectionArea(discs)
+	}
+	return sum / float64(trials), nil
+}
+
+// MonteCarloCoverage estimates Theorem 3's underestimate coverage
+// probability empirically: the fraction of trials in which discs of radius
+// estR around k uniformly-drawn communicable APs still cover the device.
+func MonteCarloCoverage(k int, r, estR float64, trials int, rng *rand.Rand) (float64, error) {
+	if k < 1 || trials < 1 {
+		return 0, fmt.Errorf("theory: need k ≥ 1 and trials ≥ 1")
+	}
+	if r <= 0 || estR <= 0 {
+		return 0, fmt.Errorf("theory: need positive radii")
+	}
+	hits := 0
+	for t := 0; t < trials; t++ {
+		covered := true
+		for i := 0; i < k; i++ {
+			d := r * math.Sqrt(rng.Float64())
+			if d > estR {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials), nil
+}

@@ -1,0 +1,268 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIntegrateKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 2 }, 0, 3, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 2, 8.0 / 3},
+		{"sin", math.Sin, 0, math.Pi, 2},
+		{"reversed", func(x float64) float64 { return 1 }, 2, 0, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Integrate(tt.f, tt.a, tt.b, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-8 {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntegrateEdgeCases(t *testing.T) {
+	if v, err := Integrate(math.Sin, 1, 1, 1e-9); err != nil || v != 0 {
+		t.Errorf("empty interval: %v, %v", v, err)
+	}
+	if _, err := Integrate(math.Sin, math.NaN(), 1, 1e-9); err == nil {
+		t.Error("want error for NaN bound")
+	}
+	if _, err := Integrate(func(float64) float64 { return math.Inf(1) }, 0, 1, 1e-9); err == nil {
+		t.Error("want error for divergent integrand")
+	}
+}
+
+func TestIntersectedAreaValidation(t *testing.T) {
+	if _, err := IntersectedArea(0, 1); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := IntersectedArea(1, 0); err == nil {
+		t.Error("want error for r=0")
+	}
+}
+
+// Theorem 2 sanity: k=1 means one AP whose disc radius r always covers the
+// device; the "intersection" is the whole disc, CA = πr²·E[p] ... for k=1
+// the closed form integrates to a value below πr² and above 0.
+func TestIntersectedAreaBasicShape(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 1; k <= 30; k++ {
+		ca, err := IntersectedArea(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CA(1) is exactly π (the single disc); CA(k>1) is strictly less.
+		if ca <= 0 || ca > math.Pi+1e-9 {
+			t.Fatalf("k=%d: CA = %v out of (0, π]", k, ca)
+		}
+		if ca >= prev {
+			t.Fatalf("CA must decrease with k (Corollary 1): k=%d %v >= %v", k, ca, prev)
+		}
+		prev = ca
+	}
+	// Fig 2's headline is "roughly inversely proportional to k" read off a
+	// small-k plot; the exact decay is between 1/k and 1/k² (asymptotically
+	// CA → π³r²/(2k²)). Check the decay exponent stays in that band and
+	// the asymptotic constant emerges at large k.
+	ca10, _ := IntersectedArea(10, 1)
+	ca30, _ := IntersectedArea(30, 1)
+	ratio := ca10 / ca30
+	if ratio < 3 || ratio > 9 { // 1/k would give 3, 1/k² gives 9
+		t.Errorf("CA(10)/CA(30) = %v, want within [3, 9]", ratio)
+	}
+	ca200, _ := IntersectedArea(200, 1)
+	asym := math.Pow(math.Pi, 3) / (2 * 200 * 200)
+	if math.Abs(ca200-asym) > 0.15*asym {
+		t.Errorf("CA(200) = %v, want near asymptote %v", ca200, asym)
+	}
+}
+
+func TestIntersectedAreaScalesWithR2(t *testing.T) {
+	a1, err := IntersectedArea(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := IntersectedArea(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a3-9*a1) > 1e-6 {
+		t.Errorf("CA(r=3) = %v, want 9×CA(r=1) = %v", a3, 9*a1)
+	}
+}
+
+// Theorem 2 vs Monte Carlo: the closed form must match simulation of the
+// actual geometric process.
+func TestIntersectedAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{1, 2, 4, 8, 15} {
+		closed, err := IntersectedArea(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloIntersectedArea(k, 1, 1, 4000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-mc) > 0.12*closed+0.01 {
+			t.Errorf("k=%d: closed %v vs MC %v", k, closed, mc)
+		}
+	}
+}
+
+// Corollary 1: CA decreases with density.
+func TestIntersectedAreaForDensity(t *testing.T) {
+	if _, err := IntersectedAreaForDensity(1, 0); err == nil {
+		t.Error("want error for zero density")
+	}
+	lo, err := IntersectedAreaForDensity(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := IntersectedAreaForDensity(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Errorf("CA at density 10 (%v) must be below density 2 (%v)", hi, lo)
+	}
+}
+
+func TestOverestimatedArea(t *testing.T) {
+	if _, err := OverestimatedArea(0, 1, 2); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := OverestimatedArea(3, 1, 0.5); err == nil {
+		t.Error("want error for estR < r")
+	}
+	// R = r reduces to Theorem 2.
+	t2, err := IntersectedArea(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := OverestimatedArea(10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t2-t3) > 0.02*t2 {
+		t.Errorf("Theorem 3 at R=r (%v) must match Theorem 2 (%v)", t3, t2)
+	}
+	// Fig 5: area grows rapidly with the overestimate.
+	prev := 0.0
+	for _, R := range []float64{1, 1.5, 2, 3} {
+		ca, err := OverestimatedArea(10, 1, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca <= prev {
+			t.Fatalf("CA must grow with R: R=%v CA=%v prev=%v", R, ca, prev)
+		}
+		prev = ca
+	}
+}
+
+func TestOverestimatedAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, R := range []float64{1.2, 2} {
+		closed, err := OverestimatedArea(6, 1, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloIntersectedArea(6, 1, R, 3000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-mc) > 0.12*closed+0.02 {
+			t.Errorf("R=%v: closed %v vs MC %v", R, closed, mc)
+		}
+	}
+}
+
+func TestUnderestimateCoverage(t *testing.T) {
+	if _, err := UnderestimateCoverage(0, 1, 0.5); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := UnderestimateCoverage(3, 1, 1.5); err == nil {
+		t.Error("want error for estR >= r")
+	}
+	p, err := UnderestimateCoverage(10, 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.9, 20)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+	// Fig 6's message: the probability collapses for large k.
+	p2, err := UnderestimateCoverage(50, 1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 >= p {
+		t.Error("coverage must collapse with k")
+	}
+}
+
+func TestUnderestimateCoverageMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, tc := range []struct {
+		k    int
+		estR float64
+	}{{5, 0.9}, {10, 0.95}, {2, 0.5}} {
+		closed, err := UnderestimateCoverage(tc.k, 1, tc.estR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloCoverage(tc.k, 1, tc.estR, 200000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-mc) > 0.05*closed+0.003 {
+			t.Errorf("k=%d R=%v: closed %v vs MC %v", tc.k, tc.estR, closed, mc)
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloIntersectedArea(0, 1, 1, 10, rng); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := MonteCarloIntersectedArea(1, -1, 1, 10, rng); err == nil {
+		t.Error("want error for bad radius")
+	}
+	if _, err := MonteCarloCoverage(1, 1, 1, 0, rng); err == nil {
+		t.Error("want error for zero trials")
+	}
+	if _, err := MonteCarloCoverage(1, 0, 1, 10, rng); err == nil {
+		t.Error("want error for zero radius")
+	}
+}
+
+func BenchmarkIntersectedArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := IntersectedArea(10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverestimatedArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OverestimatedArea(10, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "The Digital
+// Marauder's Map: A New Threat to Location Privacy in Wireless Networks"
+// (Fu, Zhang, Pingley, Yu, Wang, Zhao — ICDCS 2009).
+//
+// The system locates WiFi mobile devices from nothing but the *set of APs
+// each device can communicate with*, observed by a single high-gain
+// receiver chain sniffing 802.11 probe traffic. The packages compose as
+// the paper's architecture does:
+//
+//	internal/rf        — link budget (Theorem 1), receiver chains, catalog
+//	internal/dot11     — 802.11 management frames, channels, leakage
+//	internal/pcap      — capture file format
+//	internal/sim       — campus world: APs, devices, mobility, terrain
+//	internal/sniffer   — the wireless receiver chain + capture engine
+//	internal/obs       — per-device communicable-AP observation store
+//	internal/apdb      — WiGLE-style AP knowledge base
+//	internal/wardrive  — training-tuple collection (optional phase)
+//	internal/core      — M-Loc, AP-Rad, AP-Loc + baselines + tracker
+//	internal/theory    — Theorems 2-3 closed forms and Monte-Carlo checks
+//	internal/experiments — regenerates every figure of the evaluation
+//	internal/mapserver — the live map display
+//
+// Executables live under cmd/ (marauder, benchfig, theoryplot, wardrive)
+// and runnable walkthroughs under examples/.
+//
+// The repository-root benchmarks (bench_test.go) time one regeneration of
+// every table and figure in the paper's evaluation section.
+package repro
