@@ -1,0 +1,36 @@
+# Development workflow for the Marauder's-map reproduction. The repo has
+# no dependencies outside the Go standard library, so these targets are
+# the entire toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fmt check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The engine's ingest-while-snapshot path is concurrency-critical; run the
+# whole suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Repro tables/figures plus the engine throughput benchmarks.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+bench-engine:
+	$(GO) test -run xxx -bench BenchmarkEngineSnapshot .
+
+fmt:
+	gofmt -l -w .
+
+# The gate CI runs: everything must pass before a merge.
+check: vet build test race

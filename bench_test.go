@@ -6,11 +6,19 @@ package repro
 // doubles as the reproduction's results table.
 
 import (
+	"reflect"
+	"runtime"
 	"strconv"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rf"
+	"repro/internal/sim"
 )
 
 // lastFloat pulls a float out of a table cell, for reporting headline
@@ -304,6 +312,99 @@ func BenchmarkExtensionFleetCoverage(b *testing.B) {
 	}
 	b.ReportMetric(lastFloat(b, t, 0, 1), "observed_1site")
 	b.ReportMetric(lastFloat(b, t, 1, 1), "observed_2sites")
+}
+
+// engineBenchWorld builds a deterministic 200-device campus: a 12×12 AP
+// grid and one observation window in which every device has probed the
+// APs whose discs cover it. Returns the knowledge base and a pre-filled
+// store, shared read-only by every engine under benchmark.
+func engineBenchWorld(b *testing.B) (core.Knowledge, *obs.Store) {
+	b.Helper()
+	const (
+		nSide   = 12
+		spacing = 70.0
+		apRange = 100.0
+		nDevs   = 200
+	)
+	know := make(core.Knowledge, nSide*nSide)
+	aps := make([]core.APInfo, 0, nSide*nSide)
+	for i := 0; i < nSide*nSide; i++ {
+		pos := geom.Pt(
+			float64(i%nSide)*spacing-float64(nSide-1)*spacing/2,
+			float64(i/nSide)*spacing-float64(nSide-1)*spacing/2,
+		)
+		in := core.APInfo{BSSID: sim.NewMAC(0xA9, i), Pos: pos, MaxRange: apRange}
+		know[in.BSSID] = in
+		aps = append(aps, in)
+	}
+	store := obs.NewStore()
+	for d := 0; d < nDevs; d++ {
+		dev := sim.NewMAC(0xDD, d)
+		pos := geom.Pt(
+			float64((d*7919)%700)-350,
+			float64((d*104729)%700)-350,
+		)
+		seq := uint16(1)
+		for _, ap := range aps {
+			if ap.Pos.Dist(pos) <= ap.MaxRange {
+				store.Ingest(50, dot11.NewProbeResponse(ap.BSSID, dev, "", 1, seq), true)
+				seq++
+			}
+		}
+	}
+	return know, store
+}
+
+// BenchmarkEngineSnapshot measures one full map frame — localizing every
+// observed device in the window — across the engine's operating modes:
+// sequential vs a worker pool, and with the Γ cache cold-disabled vs warm.
+// Parallel and sequential frames are checked identical before timing.
+func BenchmarkEngineSnapshot(b *testing.B) {
+	know, store := engineBenchWorld(b)
+	newEngine := func(workers, cacheSize int) *engine.Engine {
+		eng, err := engine.New(engine.Config{
+			Know: know, Store: store, WindowSec: 60,
+			Workers: workers, CacheSize: cacheSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	nWorkers := runtime.GOMAXPROCS(0)
+	if nWorkers < 2 {
+		nWorkers = 4 // still exercises the pooled path on a 1-CPU box
+	}
+	seqFrame := newEngine(1, -1).Snapshot(50)
+	parFrame := newEngine(nWorkers, -1).Snapshot(50)
+	if !reflect.DeepEqual(seqFrame, parFrame) {
+		b.Fatal("parallel snapshot differs from sequential")
+	}
+
+	for _, bc := range []struct {
+		name      string
+		workers   int
+		cacheSize int
+	}{
+		{"sequential/uncached", 1, -1},
+		{"parallel/uncached", nWorkers, -1},
+		{"sequential/cached", 1, 0},
+		{"parallel/cached", nWorkers, 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := newEngine(bc.workers, bc.cacheSize)
+			var frame map[dot11.MAC]core.Estimate
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame = eng.Snapshot(50)
+			}
+			b.ReportMetric(float64(len(frame)), "located")
+			st := eng.Stats()
+			if st.Fixes > 0 {
+				b.ReportMetric(float64(st.CacheHits)/float64(st.Fixes), "hit_rate")
+			}
+		})
+	}
 }
 
 // Ablation: the spherical worst-case model vs obstructed/derated reality

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid] [-seed 1]
-//	         [-aps 300] [-speedup 50] [-once]
+//	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid|closest]
+//	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-once]
 //
-// With -once the attack runs a single pass and prints per-fix accuracy
-// instead of serving the map.
+// All five of the paper's algorithms select through the same
+// core.Localizer interface and drive the same engine pipeline. With -once
+// the attack runs a single pass and prints per-fix accuracy instead of
+// serving the map.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mapserver"
 	"repro/internal/obs"
@@ -45,15 +48,80 @@ type attack struct {
 	victim  *sim.Device
 	route   *sim.RouteWalk
 	store   *obs.Store
-	tracker *core.Tracker
+	eng     *engine.Engine
 	sniffer *sniffer.Sniffer
-	know    core.Knowledge
-	// baseKnow holds the AP positions radius re-estimation starts from:
-	// true positions in aprad mode, wardrive-trained ones in aploc mode.
+	// know is the true AP knowledge (for the map's AP layer).
+	know core.Knowledge
+	// baseKnow is the knowledge the engine trains from: true positions in
+	// aprad mode, wardrive-trained ones in aploc mode.
 	baseKnow core.Knowledge
+	// trains marks the trained modes that need RefreshKnowledge.
+	trains bool
+}
+
+// newLocalizer maps an -algo name to its Localizer and the knowledge base
+// the engine starts from. know holds the true AP positions and radii; w is
+// needed only by aploc, which wardrives the world for training tuples.
+func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localizer, core.Knowledge, error) {
+	radCfg := core.APRadConfig{MaxRadius: 160, MaxNeighborConstraints: 12}
+	switch algo {
+	case "mloc", "":
+		return core.MLocalizer{}, know, nil
+	case "centroid":
+		return core.CentroidLocalizer{}, know, nil
+	case "closest":
+		return core.ClosestAPLocalizer{}, know, nil
+	case "aprad":
+		// Radii withheld: true AP positions, radii trained from
+		// observations by the engine's RefreshKnowledge.
+		base := make(core.Knowledge, len(know))
+		for m, in := range know {
+			in.MaxRange = 0
+			base[m] = in
+		}
+		return core.APRadLocalizer{Cfg: radCfg}, base, nil
+	case "aploc":
+		// Nothing known: wardrive the campus first, estimate AP positions
+		// from the training tuples, then train radii from observations.
+		var waypoints []geom.Point
+		row := 0
+		for y := -300.0; y <= 300; y += 100 {
+			if row%2 == 0 {
+				waypoints = append(waypoints, geom.Pt(-300, y), geom.Pt(300, y))
+			} else {
+				waypoints = append(waypoints, geom.Pt(300, y), geom.Pt(-300, y))
+			}
+			row++
+		}
+		for x := -300.0; x <= 300; x += 100 {
+			if row%2 == 0 {
+				waypoints = append(waypoints, geom.Pt(x, 300), geom.Pt(x, -300))
+			} else {
+				waypoints = append(waypoints, geom.Pt(x, -300), geom.Pt(x, 300))
+			}
+			row++
+		}
+		drive := sim.NewRouteWalk(waypoints, 10)
+		tuples := wardrive.Collector{World: w}.CollectAlong(drive, 6)
+		trained, err := core.EstimateAPLocations(tuples, core.APLocConfig{TrainingRadius: 130})
+		if err != nil {
+			return nil, nil, fmt.Errorf("aploc training: %w", err)
+		}
+		loc := &core.APLocLocalizer{
+			Trained: trained,
+			Cfg:     core.APLocConfig{TrainingRadius: 130, Rad: radCfg},
+		}
+		return loc, trained, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
 }
 
 func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
+	return buildAttackWorkers(seed, nAPs, algo, 0)
+}
+
+func buildAttackWorkers(seed int64, nAPs int, algo string, workers int) (*attack, error) {
 	w := sim.NewWorld(seed)
 	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
 		N:        nAPs,
@@ -90,119 +158,68 @@ func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
 		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
 	}
 
-	var locate core.Locator
-	switch algo {
-	case "mloc", "", "aprad", "aploc":
-		locate = nil // tracker default (M-Loc over the active knowledge)
-	case "centroid":
-		locate = core.CentroidBaseline
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	locate, base, err := newLocalizer(algo, know, w)
+	if err != nil {
+		return nil, err
 	}
-
-	store := obs.NewStore()
-	a := &attack{
+	// For trained modes the engine starts on the radius-less base: fixes
+	// fail (no usable discs) until RefreshKnowledge swaps trained radii in.
+	_, trains := locate.(core.KnowledgeTrainer)
+	eng, err := engine.New(engine.Config{
+		Know:      base,
+		Localizer: locate,
+		WindowSec: 45,
+		Workers:   workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &attack{
 		world:  w,
 		victim: victim,
 		route:  route,
-		store:  store,
+		store:  eng.Store(),
+		eng:    eng,
 		know:   know,
 		sniffer: sniffer.New(sniffer.Config{
 			Pos:   geom.Pt(0, 0),
 			Chain: rf.ChainLNA(),
 			Plan:  dot11.DefaultPlan(),
 		}),
-		tracker: &core.Tracker{
-			Know:      know,
-			Store:     store,
-			WindowSec: 45,
-			Locate:    locate,
-		},
-	}
-	switch algo {
-	case "aprad":
-		// Radii withheld: true AP positions, radii estimated from
-		// observations (see refreshRadii).
-		a.baseKnow = make(core.Knowledge, len(know))
-		for m, in := range know {
-			in.MaxRange = 0
-			a.baseKnow[m] = in
-		}
-		a.tracker.Know = nil // filled by refreshRadii
-	case "aploc":
-		// Nothing known: wardrive the campus first, estimate AP positions
-		// from the training tuples, then estimate radii from observations.
-		var waypoints []geom.Point
-		row := 0
-		for y := -300.0; y <= 300; y += 100 {
-			if row%2 == 0 {
-				waypoints = append(waypoints, geom.Pt(-300, y), geom.Pt(300, y))
-			} else {
-				waypoints = append(waypoints, geom.Pt(300, y), geom.Pt(-300, y))
-			}
-			row++
-		}
-		for x := -300.0; x <= 300; x += 100 {
-			if row%2 == 0 {
-				waypoints = append(waypoints, geom.Pt(x, 300), geom.Pt(x, -300))
-			} else {
-				waypoints = append(waypoints, geom.Pt(x, -300), geom.Pt(x, 300))
-			}
-			row++
-		}
-		drive := sim.NewRouteWalk(waypoints, 10)
-		tuples := wardrive.Collector{World: w}.CollectAlong(drive, 6)
-		trained, err := core.EstimateAPLocations(tuples, core.APLocConfig{TrainingRadius: 130})
-		if err != nil {
-			return nil, fmt.Errorf("aploc training: %w", err)
-		}
-		a.baseKnow = trained
-		a.tracker.Know = nil // filled by refreshRadii
-	}
-	return a, nil
+		baseKnow: base,
+		trains:   trains,
+	}, nil
 }
 
 // captureUpTo simulates and captures the victim's probing traffic in
-// [from, to) seconds of route time.
+// [from, to) seconds of route time, streaming it into the engine.
 func (a *attack) captureUpTo(from, to float64) {
 	seq := uint16(from/30) + 1
 	for t := from; t < to; t += 30 {
 		pos := a.victim.PosAt(t)
 		for _, ev := range sim.ScanBurst(a.world, a.victim, t, pos, seq) {
 			if c, ok := a.sniffer.TryCapture(ev); ok {
-				a.store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+				a.eng.Ingest(c.TimeSec, c.Frame, c.FromAP)
 			}
 		}
 		seq++
 	}
 }
 
-// refreshRadii re-estimates AP radii from everything observed so far,
-// starting from the mode's base knowledge (true positions for aprad,
-// wardrive-trained positions for aploc).
-func (a *attack) refreshRadii() error {
-	est, _, err := core.EstimateRadii(a.baseKnow, a.store.DeviceAPSets(),
-		core.APRadConfig{MaxRadius: 160, MaxNeighborConstraints: 12})
-	if err != nil {
-		return err
-	}
-	a.tracker.Know = est
-	return nil
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("marauder", flag.ContinueOnError)
 	addr := fs.String("addr", ":8642", "HTTP listen address for the map")
-	algo := fs.String("algo", "mloc", "localization algorithm: mloc, aprad, aploc or centroid")
+	algo := fs.String("algo", "mloc", "localization algorithm: mloc, aprad, aploc, centroid or closest")
 	seed := fs.Int64("seed", 1, "random seed")
 	nAPs := fs.Int("aps", 300, "number of deployed APs")
 	speedup := fs.Float64("speedup", 50, "simulated seconds per wall second")
+	workers := fs.Int("workers", 0, "snapshot worker pool size (0 = GOMAXPROCS)")
 	once := fs.Bool("once", false, "run one pass and print accuracy instead of serving")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	a, err := buildAttack(*seed, *nAPs, *algo)
+	a, err := buildAttackWorkers(*seed, *nAPs, *algo, *workers)
 	if err != nil {
 		return err
 	}
@@ -216,12 +233,12 @@ func run(args []string) error {
 func runOnce(a *attack, algo string) error {
 	total := a.route.TotalDuration()
 	a.captureUpTo(0, total)
-	if algo == "aprad" || algo == "aploc" {
-		if err := a.refreshRadii(); err != nil {
+	if a.trains {
+		if err := a.eng.RefreshKnowledge(); err != nil {
 			return err
 		}
 	}
-	points, err := a.tracker.Track(a.victim.MAC, 0, total, 60)
+	points, err := a.eng.Track(a.victim.MAC, 0, total, 60)
 	if err != nil {
 		return err
 	}
@@ -236,8 +253,9 @@ func runOnce(a *attack, algo string) error {
 		fmt.Printf("t=%6.0fs k=%2d est=%v truth=%v err=%.1fm\n",
 			p.TimeSec, p.Est.K, p.Est.Pos, truth, e)
 	}
-	fmt.Printf("fixes=%d average error=%.2fm algorithm=%s\n",
-		len(points), sum/float64(len(points)), algo)
+	stats := a.eng.Stats()
+	fmt.Printf("fixes=%d average error=%.2fm algorithm=%s cache=%d/%d hits\n",
+		len(points), sum/float64(len(points)), algo, stats.CacheHits, stats.Fixes)
 	return nil
 }
 
@@ -275,19 +293,24 @@ func serve(a *attack, algo, addr string, speedup float64) error {
 			}
 			a.captureUpTo(simTime, next)
 			simTime = next
-			if algo == "aprad" || algo == "aploc" {
-				if err := a.refreshRadii(); err != nil {
+			if a.trains {
+				if err := a.eng.RefreshKnowledge(); err != nil {
 					continue // not enough data yet
 				}
 			}
-			if est, err := a.tracker.Fix(a.victim.MAC, simTime-22); err == nil {
-				truth := a.route.PosAt(simTime - 22)
-				state.UpdateDevice(a.victim.MAC, est, &truth)
-			}
+			// One full frame of the map: every observed device localized
+			// across the engine's worker pool.
+			frame := a.eng.Snapshot(simTime - 22)
+			state.PublishFrame(frame, func(m dot11.MAC) (geom.Point, bool) {
+				if m == a.victim.MAC {
+					return a.route.PosAt(simTime - 22), true
+				}
+				return geom.Point{}, false
+			})
 			if simTime >= total {
 				simTime = 0 // loop the walk
-				a.store = obs.NewStore()
-				a.tracker.Store = a.store
+				a.eng.ResetObservations()
+				a.store = a.eng.Store()
 			}
 		}
 	}

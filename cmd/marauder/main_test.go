@@ -5,7 +5,13 @@ import (
 )
 
 func TestBuildAttackAlgorithms(t *testing.T) {
-	for _, algo := range []string{"mloc", "centroid", "aprad"} {
+	// Every algorithm of the paper selects through the one Localizer
+	// interface; trained modes flag themselves for RefreshKnowledge.
+	wantName := map[string]string{
+		"mloc": "m-loc", "centroid": "centroid", "closest": "closest-ap",
+		"aprad": "ap-rad", "aploc": "ap-loc",
+	}
+	for _, algo := range []string{"mloc", "centroid", "closest", "aprad", "aploc"} {
 		a, err := buildAttack(1, 120, algo)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -13,9 +19,27 @@ func TestBuildAttackAlgorithms(t *testing.T) {
 		if len(a.world.APs) != 120 {
 			t.Fatalf("%s: aps = %d", algo, len(a.world.APs))
 		}
+		if got := a.eng.Localizer().Name(); got != wantName[algo] {
+			t.Fatalf("%s: localizer = %q, want %q", algo, got, wantName[algo])
+		}
+		if trained := algo == "aprad" || algo == "aploc"; a.trains != trained {
+			t.Fatalf("%s: trains = %v", algo, a.trains)
+		}
 	}
 	if _, err := buildAttack(1, 120, "nope"); err == nil {
 		t.Fatal("want error for unknown algorithm")
+	}
+}
+
+func TestRunOnceBaselines(t *testing.T) {
+	for _, algo := range []string{"centroid", "closest"} {
+		a, err := buildAttack(3, 150, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runOnce(a, algo); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
 	}
 }
 

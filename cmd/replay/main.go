@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid]
+//	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid|closest|aprad]
 //	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json]
 //
 // With -demo it first generates a demo capture+database pair into the
@@ -16,15 +16,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/apdb"
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/geom"
-	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
@@ -43,7 +45,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	pcapPath := fs.String("pcap", "", "pcap capture to replay (required)")
 	apsPath := fs.String("aps", "", "AP database CSV (required)")
-	algo := fs.String("algo", "mloc", "localization algorithm: mloc or centroid")
+	algo := fs.String("algo", "mloc", "localization algorithm: mloc, centroid, closest or aprad")
 	originLat := fs.Float64("origin-lat", 42.6555, "local-plane origin latitude")
 	originLon := fs.Float64("origin-lon", -71.3254, "local-plane origin longitude")
 	obsOut := fs.String("obs", "", "also save the rebuilt observation store as JSON here")
@@ -84,19 +86,6 @@ func run(args []string) error {
 		return err
 	}
 
-	store := obs.NewStore()
-	for _, c := range caps {
-		// Replay cannot know the capture-side FromAP attribution; trust
-		// beacons whose source appears in the AP database.
-		fromAP := false
-		if _, ok := db.Get(c.Frame.Addr2); ok {
-			fromAP = true
-		}
-		store.Ingest(c.TimeSec, c.Frame, fromAP)
-	}
-	fmt.Printf("replayed %d frames: %d devices (%d probing), %d APs observed\n",
-		len(caps), len(store.Devices()), len(store.ProbingDevices()), len(store.APs()))
-
 	know := make(core.Knowledge, db.Len())
 	for _, e := range db.All() {
 		r := e.MaxRange
@@ -106,21 +95,67 @@ func run(args []string) error {
 		know[e.BSSID] = core.APInfo{BSSID: e.BSSID, Pos: e.Pos, MaxRange: r}
 	}
 
-	var locate core.Locator
+	var locate core.Localizer
 	switch *algo {
 	case "mloc":
-		locate = core.MLoc
+		locate = core.MLocalizer{}
 	case "centroid":
-		locate = core.CentroidBaseline
+		locate = core.CentroidLocalizer{}
+	case "closest":
+		locate = core.ClosestAPLocalizer{}
+	case "aprad":
+		// Trust only the database's positions; re-estimate radii from the
+		// replayed co-observations.
+		for m, in := range know {
+			in.MaxRange = 0
+			know[m] = in
+		}
+		locate = core.APRadLocalizer{
+			Cfg: core.APRadConfig{MaxRadius: 2 * *fallback, MaxNeighborConstraints: 12},
+		}
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
+	eng, err := engine.New(engine.Config{
+		Know:      know,
+		Localizer: locate,
+		WindowSec: 60, // SnapshotRange below spans the whole capture
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range caps {
+		// Replay cannot know the capture-side FromAP attribution; trust
+		// beacons whose source appears in the AP database.
+		fromAP := false
+		if _, ok := db.Get(c.Frame.Addr2); ok {
+			fromAP = true
+		}
+		eng.Ingest(c.TimeSec, c.Frame, fromAP)
+	}
+	store := eng.Store()
+	fmt.Printf("replayed %d frames: %d devices (%d probing), %d APs observed\n",
+		len(caps), len(store.Devices()), len(store.ProbingDevices()), len(store.APs()))
+
+	if err := eng.RefreshKnowledge(); err != nil {
+		return fmt.Errorf("train knowledge: %w", err)
+	}
+
+	// Localize every observed device over the whole capture history, in
+	// parallel across the engine's worker pool.
+	frame := eng.SnapshotRange(0, math.MaxFloat64)
+	sets := store.DeviceAPSets()
+	devs := make([]dot11.MAC, 0, len(sets))
+	for dev := range sets {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i].String() < devs[j].String() })
 	located := 0
-	for dev, gamma := range store.DeviceAPSets() {
-		est, err := locate(know, gamma)
-		if err != nil {
-			fmt.Printf("%v  k=%-2d  %v\n", dev, len(gamma), err)
+	for _, dev := range devs {
+		est, ok := frame[dev]
+		if !ok {
+			fmt.Printf("%v  k=%-2d  not locatable\n", dev, len(sets[dev]))
 			continue
 		}
 		ll := proj.ToLatLon(est.Pos)

@@ -26,9 +26,18 @@ func TestRunDemoRoundTrip(t *testing.T) {
 			t.Errorf("%s is empty", p)
 		}
 	}
-	// Replaying the same artifacts without -demo also works.
-	if err := run([]string{"-pcap", pcapPath, "-aps", apsPath, "-algo", "centroid"}); err != nil {
-		t.Fatal(err)
+	// Replaying the same artifacts without -demo also works, for every
+	// replayable algorithm behind the engine's Localizer interface.
+	for _, algo := range []string{"centroid", "closest"} {
+		if err := run([]string{"-pcap", pcapPath, "-aps", apsPath, "-algo", algo}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if !testing.Short() {
+		// AP-Rad re-trains radii from the replayed co-observations.
+		if err := run([]string{"-pcap", pcapPath, "-aps", apsPath, "-algo", "aprad"}); err != nil {
+			t.Fatalf("aprad: %v", err)
+		}
 	}
 }
 

@@ -15,9 +15,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mapserver"
-	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
@@ -68,23 +68,28 @@ func run(serveAddr string) error {
 	})
 	fmt.Printf("sniffer coverage radius: %.0f m\n", sn.CoverageRadius(rf.TypicalMobile))
 
-	store := obs.NewStore()
-	caps := sn.CaptureAll(events)
-	for _, c := range caps {
-		store.Ingest(c.TimeSec, c.Frame, c.FromAP)
-	}
-	fmt.Printf("captured %d frames; %d devices seen, %d probing\n",
-		len(caps), len(store.Devices()), len(store.ProbingDevices()))
-
-	// 4. Track the victim with M-Loc over 60 s windows.
+	// 4. The localization engine owns the rest of the pipeline: ingest the
+	// captures, keep per-device Γ sets, localize with M-Loc on demand.
 	know := make(core.Knowledge, len(aps))
 	for _, ap := range aps {
 		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
 	}
-	tracker := &core.Tracker{Know: know, Store: store, WindowSec: 60}
-	trail, err := tracker.Track(victim.MAC, 0, route.TotalDuration(), 60)
+	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60})
 	if err != nil {
 		return err
+	}
+	caps := sn.CaptureAll(events)
+	eng.IngestCaptures(caps)
+	store := eng.Store()
+	fmt.Printf("captured %d frames; %d devices seen, %d probing\n",
+		len(caps), len(store.Devices()), len(store.ProbingDevices()))
+
+	trail, err := eng.Track(victim.MAC, 0, route.TotalDuration(), 60)
+	if err != nil {
+		return err
+	}
+	if len(trail) == 0 {
+		return fmt.Errorf("no fixes produced")
 	}
 
 	var sum float64
@@ -95,19 +100,24 @@ func run(serveAddr string) error {
 		fmt.Printf("t=%5.0fs  k=%2d  est=%-22v truth=%-22v err=%5.1f m\n",
 			p.TimeSec, p.Est.K, p.Est.Pos, truth, e)
 	}
-	fmt.Printf("tracked %d fixes, average error %.1f m\n",
-		len(trail), sum/float64(len(trail)))
+	stats := eng.Stats()
+	fmt.Printf("tracked %d fixes, average error %.1f m (Γ-cache: %d/%d hits)\n",
+		len(trail), sum/float64(len(trail)), stats.CacheHits, stats.Fixes)
 
 	if serveAddr == "" {
 		return nil
 	}
-	// 5. Optional: the Marauder's map display.
+	// 5. Optional: the Marauder's map display — one engine snapshot frame
+	// at the end of the walk.
 	state := mapserver.NewState()
 	state.APsFromKnowledge(know)
-	for _, p := range trail {
-		truth := route.PosAt(p.TimeSec)
-		state.UpdateDevice(victim.MAC, p.Est, &truth)
-	}
+	last := trail[len(trail)-1].TimeSec
+	state.PublishFrame(eng.Snapshot(last), func(m dot11.MAC) (geom.Point, bool) {
+		if m == victim.MAC {
+			return route.PosAt(last), true
+		}
+		return geom.Point{}, false
+	})
 	fmt.Printf("map at http://localhost%s — ctrl-C to stop\n", serveAddr)
 	return http.ListenAndServe(serveAddr, mapserver.Handler(state))
 }

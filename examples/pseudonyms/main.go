@@ -15,8 +15,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geom"
-	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/rf"
 	"repro/internal/sim"
@@ -76,11 +76,18 @@ func run() error {
 	// The defence: rotate the MAC every 120 s.
 	defended := (privacy.MACRotation{PeriodSec: 120}).Apply(victim.MAC, events, w.RNG())
 
-	sn := sniffer.New(sniffer.Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
-	store := obs.NewStore()
-	for _, c := range sn.CaptureAll(defended) {
-		store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+	// The engine ingests the defended traffic and localizes each identity.
+	know := make(core.Knowledge, len(aps))
+	for _, ap := range aps {
+		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
 	}
+	eng, err := engine.New(engine.Config{Know: know, WindowSec: 45})
+	if err != nil {
+		return err
+	}
+	sn := sniffer.New(sniffer.Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	eng.IngestCaptures(sn.CaptureAll(defended))
+	store := eng.Store()
 
 	identities := store.Devices()
 	fmt.Printf("the sniffer sees %d distinct identities\n", len(identities))
@@ -92,15 +99,11 @@ func run() error {
 		fmt.Printf("  %v <-> %v (similarity %.2f)\n", l.A, l.B, l.Similarity)
 	}
 
-	// Track every linked identity and stitch the combined trail.
-	know := make(core.Knowledge, len(aps))
-	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
-	}
-	tracker := &core.Tracker{Know: know, Store: store, WindowSec: 45}
+	// Track every linked identity and stitch the combined trail. The
+	// pseudonyms share windows, so the engine's Γ-cache pays off here.
 	var trail []core.TrackPoint
 	for _, id := range identities {
-		points, err := tracker.Track(id, 0, route.TotalDuration(), 30)
+		points, err := eng.Track(id, 0, route.TotalDuration(), 30)
 		if err != nil {
 			return err
 		}

@@ -1,5 +1,6 @@
-// Quickstart: locate one mobile device with M-Loc from a hand-built AP
-// knowledge base — the smallest possible use of the library.
+// Quickstart: locate one mobile device from a hand-built AP knowledge
+// base — the smallest possible use of the localization engine. Observed
+// probe traffic goes in, a position estimate comes out.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -30,24 +32,43 @@ func main() {
 		{BSSID: mustMAC("00:1b:2f:00:00:04"), Pos: geom.Pt(-40, 90), MaxRange: 100},
 	})
 
-	// The sniffer observed the victim exchanging probe traffic with three
-	// of them (its communicable set Γ).
-	gamma := []dot11.MAC{
-		mustMAC("00:1b:2f:00:00:01"),
-		mustMAC("00:1b:2f:00:00:02"),
-		mustMAC("00:1b:2f:00:00:03"),
+	// The engine runs the whole pipeline: ingest captured frames, maintain
+	// per-device AP sets Γ, localize on demand (M-Loc by default).
+	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	est, err := core.MLoc(know, gamma)
+	// The sniffer observed the victim exchanging probe traffic with three
+	// of the known APs (its communicable set Γ).
+	victim := mustMAC("aa:bb:cc:00:00:07")
+	for i, ap := range []string{
+		"00:1b:2f:00:00:01", "00:1b:2f:00:00:02", "00:1b:2f:00:00:03",
+	} {
+		eng.Ingest(float64(10+i), dot11.NewProbeResponse(mustMAC(ap), victim, "", 1, uint16(i+1)), true)
+	}
+
+	est, err := eng.Fix(victim, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("M-Loc estimate: %v from k=%d APs (%d region vertices)\n",
 		est.Pos, est.K, len(est.Vertices))
+	gamma := eng.Store().APSet(victim)
 	fmt.Printf("intersected area: %.1f m²\n", core.RegionArea(know, gamma))
 
-	// Compare with the Centroid baseline the paper evaluates against.
-	cent, err := core.CentroidBaseline(know, gamma)
+	// Compare with the Centroid baseline the paper evaluates against —
+	// same pipeline, different Localizer.
+	centEng, err := engine.New(engine.Config{
+		Know:      know,
+		Store:     eng.Store(),
+		Localizer: core.CentroidLocalizer{},
+		WindowSec: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cent, err := centEng.Fix(victim, 11)
 	if err != nil {
 		log.Fatal(err)
 	}

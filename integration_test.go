@@ -13,10 +13,10 @@ import (
 	"repro/internal/apdb"
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/mapserver"
-	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
@@ -81,12 +81,18 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 		t.Fatalf("pcap replay lost frames: %d vs %d", len(replayed), len(caps))
 	}
 
-	// 2. Build the observation store from the replayed capture.
-	store := obs.NewStore()
+	// 2. Build the observation store from the replayed capture, through
+	// the engine's ingest path. No knowledge yet — the attack often
+	// captures first and obtains the AP database later.
+	eng, err := engine.New(engine.Config{WindowSec: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range replayed {
 		_, fromAP := w.APByMAC(c.Frame.Addr2)
-		store.Ingest(c.TimeSec, c.Frame, fromAP)
+		eng.Ingest(c.TimeSec, c.Frame, fromAP)
 	}
+	store := eng.Store()
 	if len(store.APSet(victim.MAC)) == 0 {
 		t.Fatal("victim has no observed AP set")
 	}
@@ -106,9 +112,10 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 		know[e.BSSID] = core.APInfo{BSSID: e.BSSID, Pos: e.Pos, MaxRange: e.MaxRange}
 	}
 
-	// 4. Track with M-Loc; errors must be campus-attack grade.
-	tracker := &core.Tracker{Know: know, Store: store, WindowSec: 45}
-	trail, err := tracker.Track(victim.MAC, 0, route.TotalDuration(), 60)
+	// 4. Hand the late-arriving knowledge to the engine (invalidating its
+	// Γ cache) and track with M-Loc; errors must be campus-attack grade.
+	eng.SetKnowledge(know)
+	trail, err := eng.Track(victim.MAC, 0, route.TotalDuration(), 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,15 +158,26 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 		t.Errorf("training located only %d APs", len(trained))
 	}
 
-	// 7. Publish to the map display and read it back through the HTTP
-	// handler state.
+	// 7. Publish one engine snapshot frame to the map display. The frame
+	// spans every locatable device; the victim must be in it.
+	frame := eng.Snapshot(trail[0].TimeSec)
+	if _, ok := frame[victim.MAC]; !ok {
+		t.Error("victim missing from engine snapshot frame")
+	}
 	state := mapserver.NewState()
 	state.APsFromKnowledge(know)
-	truth := route.PosAt(trail[0].TimeSec)
-	state.UpdateDevice(victim.MAC, trail[0].Est, &truth)
+	state.PublishFrame(frame, func(m dot11.MAC) (geom.Point, bool) {
+		if m == victim.MAC {
+			return route.PosAt(trail[0].TimeSec), true
+		}
+		return geom.Point{}, false
+	})
 	// The handler is exercised in mapserver's own tests; here we assert
 	// the state accepted the pipeline's outputs without loss.
 	if got := len(know); got != db.Len() {
 		t.Errorf("knowledge size %d != db size %d", got, db.Len())
+	}
+	if st := eng.Stats(); st.Fixes == 0 {
+		t.Error("engine recorded no localization work")
 	}
 }

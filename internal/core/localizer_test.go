@@ -1,0 +1,171 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/wardrive"
+)
+
+func localizerKnow() Knowledge {
+	return Knowledge{
+		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0), MaxRange: 100},
+		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0), MaxRange: 100},
+		mac(0xA3): {BSSID: mac(0xA3), Pos: geom.Pt(0, 60), MaxRange: 80},
+	}
+}
+
+func TestLocalizerNames(t *testing.T) {
+	for _, tc := range []struct {
+		loc  Localizer
+		want string
+	}{
+		{MLocalizer{}, "m-loc"},
+		{CentroidLocalizer{}, "centroid"},
+		{ClosestAPLocalizer{}, "closest-ap"},
+		{APRadLocalizer{}, "ap-rad"},
+		{&APLocLocalizer{}, "ap-loc"},
+		{LocalizerFunc{Method: "custom", Func: MLoc}, "custom"},
+	} {
+		if got := tc.loc.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestLocalizersMatchDirectCalls(t *testing.T) {
+	k := localizerKnow()
+	gamma := []dot11.MAC{mac(0xA1), mac(0xA2), mac(0xA3)}
+	for _, tc := range []struct {
+		loc    Localizer
+		direct Locator
+	}{
+		{MLocalizer{}, MLoc},
+		{CentroidLocalizer{}, CentroidBaseline},
+		{ClosestAPLocalizer{}, ClosestAPBaseline},
+		{LocalizerFunc{Method: "m-loc", Func: MLoc}, MLoc},
+	} {
+		got, err := tc.loc.Locate(k, gamma)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.loc.Name(), err)
+		}
+		want, err := tc.direct(k, gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pos != want.Pos || got.K != want.K {
+			t.Errorf("%s: Locate = %+v, direct = %+v", tc.loc.Name(), got, want)
+		}
+	}
+}
+
+func TestAPRadLocalizerTrainAndLocate(t *testing.T) {
+	base := Knowledge{
+		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
+		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
+		mac(0xA3): {BSSID: mac(0xA3), Pos: geom.Pt(400, 0)},
+	}
+	dev := mac(1)
+	sets := map[dot11.MAC][]dot11.MAC{
+		dev: {mac(0xA1), mac(0xA2)},
+	}
+	loc := APRadLocalizer{Cfg: APRadConfig{MaxRadius: 150}}
+	trained, err := loc.Train(base, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The co-observed pair forces r1 + r2 ≥ 100.
+	if sum := trained[mac(0xA1)].MaxRange + trained[mac(0xA2)].MaxRange; sum < 100-1e-6 {
+		t.Errorf("trained radii sum = %v, want ≥ 100", sum)
+	}
+	est, err := loc.Locate(trained, sets[dev])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "ap-rad" {
+		t.Errorf("method = %q", est.Method)
+	}
+	if est.Pos.Dist(geom.Pt(0, 0)) > 60 {
+		t.Errorf("estimate %v implausibly far from the co-observed midpoint", est.Pos)
+	}
+}
+
+func TestAPLocLocalizerTrainsOnce(t *testing.T) {
+	// Two training locations hear the AP; its estimated position must fall
+	// between them, and the tuple-based training must be memoized.
+	ap := mac(0xB1)
+	tuples := []wardrive.Tuple{
+		{Pos: geom.Pt(-30, 0), APs: []dot11.MAC{ap}},
+		{Pos: geom.Pt(30, 0), APs: []dot11.MAC{ap}},
+	}
+	loc := &APLocLocalizer{
+		Tuples: tuples,
+		Cfg:    APLocConfig{TrainingRadius: 100, Rad: APRadConfig{MaxRadius: 150}},
+	}
+	dev := mac(1)
+	sets := map[dot11.MAC][]dot11.MAC{dev: {ap}}
+	trained, err := loc.Train(nil, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Trained == nil {
+		t.Fatal("position training not memoized")
+	}
+	if got := trained[ap].Pos; got.Dist(geom.Pt(0, 0)) > 1e-6 {
+		t.Errorf("trained AP position = %v, want origin", got)
+	}
+	first := loc.Trained
+	if _, err := loc.Train(nil, sets); err != nil {
+		t.Fatal(err)
+	}
+	// Memoized: the cached base map itself is reused, not rebuilt.
+	if reflect.ValueOf(first).Pointer() != reflect.ValueOf(loc.Trained).Pointer() {
+		t.Error("position training reran on second Train call")
+	}
+	est, err := loc.Locate(trained, sets[dev])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "ap-loc" {
+		t.Errorf("method = %q", est.Method)
+	}
+}
+
+func TestTrackerLocalizerField(t *testing.T) {
+	tr, dev := trackerFixture()
+	tr.Localizer = CentroidLocalizer{}
+	est, err := tr.Fix(dev, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "centroid" {
+		t.Errorf("method = %q", est.Method)
+	}
+}
+
+func TestTrackerTrackNoDrift(t *testing.T) {
+	// With accumulated stepping, 0.1-second steps drift by whole
+	// milliseconds over ten thousand iterations; index-based stepping
+	// keeps every timestamp exact.
+	tr, dev := trackerFixture()
+	points, err := tr.Track(dev, 0, 1000, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		i := p.TimeSec / 0.1
+		nearest := float64(int(i+0.5)) * 0.1
+		if diff := absf(p.TimeSec - nearest); diff > 1e-9 {
+			t.Fatalf("timestamp %v drifted %.2e from the step grid", p.TimeSec, diff)
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -10,8 +10,9 @@ import (
 
 // Locator is a localization algorithm mapping the attacker's knowledge and
 // an observed AP set Γ to an estimate. MLoc, CentroidBaseline and
-// ClosestAPBaseline satisfy this signature; AP-Rad and AP-Loc become
-// Locators once their radius/location estimation has produced a Knowledge.
+// ClosestAPBaseline satisfy this signature; prefer the Localizer interface
+// (localizer.go), which names the algorithm and lets AP-Rad / AP-Loc carry
+// their training state.
 type Locator func(Knowledge, []dot11.MAC) (Estimate, error)
 
 // TrackPoint is one position fix of a tracked device.
@@ -22,8 +23,14 @@ type TrackPoint struct {
 	Est Estimate `json:"est"`
 }
 
-// Tracker runs continuous localization over an observation store — the
-// live "Marauder's map": every device, every window, one dot on the map.
+// Tracker runs continuous localization over an observation store.
+//
+// Tracker is the sequential, uncached compatibility layer kept for simple
+// single-device uses and older call sites. New code should drive
+// internal/engine.Engine instead: the engine owns the same
+// ingest→observe→localize pipeline but snapshots devices across a worker
+// pool, memoizes estimates by Γ, and re-trains AP-Rad / AP-Loc knowledge
+// as observations accumulate.
 type Tracker struct {
 	// Know is the AP knowledge base (external or trained).
 	Know Knowledge
@@ -32,11 +39,16 @@ type Tracker struct {
 	// WindowSec is the observation window width; a device's Γ for a fix at
 	// time t is everything observed in [t−WindowSec/2, t+WindowSec/2).
 	WindowSec float64
-	// Locate is the algorithm; nil means MLoc.
+	// Localizer is the algorithm; it takes precedence over Locate.
+	Localizer Localizer
+	// Locate is the algorithm as a bare func; nil means MLoc.
 	Locate Locator
 }
 
 func (t *Tracker) locate(gamma []dot11.MAC) (Estimate, error) {
+	if t.Localizer != nil {
+		return t.Localizer.Locate(t.Know, gamma)
+	}
 	if t.Locate != nil {
 		return t.Locate(t.Know, gamma)
 	}
@@ -57,13 +69,19 @@ func (t *Tracker) Fix(dev dot11.MAC, timeSec float64) (Estimate, error) {
 }
 
 // Track produces fixes for the device every stepSec over [startSec,
-// endSec]; windows without observations are skipped.
+// endSec]; windows without observations are skipped. Steps are computed as
+// startSec + i·stepSec rather than accumulated, so long ranges do not
+// drift.
 func (t *Tracker) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]TrackPoint, error) {
 	if stepSec <= 0 {
 		return nil, fmt.Errorf("core: tracker needs stepSec > 0")
 	}
 	var out []TrackPoint
-	for ts := startSec; ts <= endSec; ts += stepSec {
+	for i := 0; ; i++ {
+		ts := startSec + float64(i)*stepSec
+		if ts > endSec {
+			break
+		}
 		est, err := t.Fix(dev, ts)
 		if err != nil {
 			continue
@@ -74,7 +92,7 @@ func (t *Tracker) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]Tra
 }
 
 // Snapshot locates every device with observations in the window centred at
-// timeSec — one full frame of the Marauder's map.
+// timeSec — one full frame of the Marauder's map, computed sequentially.
 func (t *Tracker) Snapshot(timeSec float64) map[dot11.MAC]Estimate {
 	out := make(map[dot11.MAC]Estimate)
 	for _, dev := range t.Store.Devices() {

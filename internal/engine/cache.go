@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+)
+
+// defaultCacheSize is the Γ-cache entry cap when Config.CacheSize is 0.
+const defaultCacheSize = 4096
+
+// gammaCache memoizes localization results by canonicalized Γ key.
+// Localization is a pure function of (knowledge, Γ); the engine
+// invalidates the whole cache whenever the knowledge base is swapped, so
+// entries never go stale. Failures are cached too — a Γ whose discs leave
+// an empty region fails identically (and expensively, through radius
+// inflation) every time it recurs.
+//
+// Eviction is wholesale: when the cap is reached the map is dropped and
+// refilled. The working set of distinct Γ keys between knowledge swaps is
+// small (devices near each other share keys), so an LRU's bookkeeping
+// would cost more than the occasional refill.
+type gammaCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	est core.Estimate
+	err error
+}
+
+func newGammaCache(max int) *gammaCache {
+	return &gammaCache{max: max, entries: make(map[string]cacheEntry)}
+}
+
+// gammaKey canonicalizes Γ into a cache key. Γ is already deduplicated
+// and MAC-ascending (APSetWindow's documented order), so the byte
+// concatenation of its addresses is canonical.
+func gammaKey(gamma []dot11.MAC) string {
+	buf := make([]byte, 0, len(gamma)*6)
+	for _, m := range gamma {
+		buf = append(buf, m[:]...)
+	}
+	return string(buf)
+}
+
+func (c *gammaCache) get(key string) (core.Estimate, error, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	return e.est, e.err, ok
+}
+
+func (c *gammaCache) put(key string, est core.Estimate, err error) {
+	c.mu.Lock()
+	if len(c.entries) >= c.max {
+		c.entries = make(map[string]cacheEntry)
+	}
+	c.entries[key] = cacheEntry{est: est, err: err}
+	c.mu.Unlock()
+}
+
+// invalidate drops every entry (the knowledge base changed).
+func (c *gammaCache) invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[string]cacheEntry)
+	c.mu.Unlock()
+}
+
+// len reports the current entry count (for tests).
+func (c *gammaCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,319 @@
+// Package engine owns the digital Marauder's map pipeline: it ingests
+// captured frames into the observation store, keeps the localization
+// knowledge trained as observations accumulate, and localizes devices —
+// one of them, or every device of a map frame in parallel across a worker
+// pool. Every front-end (cmd/marauder, cmd/replay, the map server loop,
+// the examples) drives this type instead of hand-wiring
+// capture→ingest→localize itself.
+//
+// The engine memoizes estimates by canonicalized Γ: localization is a
+// pure function of (knowledge, Γ), identical AP sets recur constantly
+// across windows and devices, and knowledge changes are explicit
+// (SetKnowledge / RefreshKnowledge), so the cache is invalidated exactly
+// when the knowledge base changes.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/obs"
+	"repro/internal/sniffer"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Know is the AP knowledge base. For trained algorithms (AP-Rad,
+	// AP-Loc) it is the training base — positions without radii, or nil —
+	// and the working knowledge is produced by RefreshKnowledge.
+	Know core.Knowledge
+	// Store supplies the observations; nil creates an empty store.
+	Store *obs.Store
+	// Localizer is the algorithm; nil means M-Loc.
+	Localizer core.Localizer
+	// WindowSec is the observation window width; a device's Γ for a fix
+	// at time t is everything observed in [t−WindowSec/2, t+WindowSec/2).
+	// Required.
+	WindowSec float64
+	// Workers caps snapshot parallelism; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize caps the Γ-memoization cache entry count. 0 means the
+	// default (4096); negative disables caching.
+	CacheSize int
+}
+
+// Engine runs the concurrent ingest→observe→localize pipeline. It is safe
+// for concurrent use: captures may stream in while snapshots run.
+type Engine struct {
+	loc       core.Localizer
+	windowSec float64
+	workers   int
+
+	mu    sync.RWMutex
+	store *obs.Store
+	base  core.Knowledge // immutable training base
+	know  core.Knowledge // active working knowledge
+
+	cache *gammaCache
+
+	fixes  atomic.Uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Stats counts engine work since construction.
+type Stats struct {
+	// Fixes is the number of localization requests answered (cached or
+	// computed), successful or not.
+	Fixes uint64
+	// CacheHits is how many of them were served from the Γ cache.
+	CacheHits uint64
+	// CacheMisses is how many ran the localization algorithm.
+	CacheMisses uint64
+}
+
+// New builds an Engine and validates the configuration.
+func New(cfg Config) (*Engine, error) {
+	if cfg.WindowSec <= 0 {
+		return nil, fmt.Errorf("engine: WindowSec must be > 0, got %v", cfg.WindowSec)
+	}
+	loc := cfg.Localizer
+	if loc == nil {
+		loc = core.MLocalizer{}
+	}
+	store := cfg.Store
+	if store == nil {
+		store = obs.NewStore()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		loc:       loc,
+		windowSec: cfg.WindowSec,
+		workers:   workers,
+		store:     store,
+		base:      cfg.Know,
+		know:      cfg.Know,
+	}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = defaultCacheSize
+		}
+		e.cache = newGammaCache(size)
+	}
+	return e, nil
+}
+
+// Localizer returns the engine's algorithm.
+func (e *Engine) Localizer() core.Localizer { return e.loc }
+
+// Store returns the observation store the engine ingests into. The store
+// is safe for concurrent use, so callers may also feed or query it
+// directly.
+func (e *Engine) Store() *obs.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store
+}
+
+// Ingest feeds one captured frame into the observation store.
+func (e *Engine) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
+	e.Store().Ingest(timeSec, f, fromAP)
+}
+
+// IngestCaptures feeds a batch of sniffer captures and returns how many
+// were ingested.
+func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
+	store := e.Store()
+	for _, c := range caps {
+		store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+	}
+	return len(caps)
+}
+
+// ResetObservations discards all accumulated observations (a fresh store)
+// while keeping knowledge and cache: localization is a function of
+// (knowledge, Γ) only, so previously memoized Γ keys stay valid.
+func (e *Engine) ResetObservations() {
+	e.mu.Lock()
+	e.store = obs.NewStore()
+	e.mu.Unlock()
+}
+
+// Knowledge returns the active working knowledge base.
+func (e *Engine) Knowledge() core.Knowledge {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.know
+}
+
+// SetKnowledge swaps in a new working knowledge base and invalidates the
+// Γ cache.
+func (e *Engine) SetKnowledge(k core.Knowledge) {
+	e.mu.Lock()
+	e.know = k
+	e.mu.Unlock()
+	if e.cache != nil {
+		e.cache.invalidate()
+	}
+}
+
+// RefreshKnowledge re-trains the working knowledge from everything
+// observed so far when the algorithm learns from observations (AP-Rad
+// estimates radii, AP-Loc estimates positions too). For algorithms that
+// take knowledge as given it is a no-op.
+func (e *Engine) RefreshKnowledge() error {
+	trainer, ok := e.loc.(core.KnowledgeTrainer)
+	if !ok {
+		return nil
+	}
+	e.mu.RLock()
+	base := e.base
+	store := e.store
+	e.mu.RUnlock()
+	trained, err := trainer.Train(base, store.DeviceAPSets())
+	if err != nil {
+		return fmt.Errorf("engine: refresh knowledge: %w", err)
+	}
+	e.SetKnowledge(trained)
+	return nil
+}
+
+// locateGamma answers one localization request, through the Γ cache when
+// enabled. gamma must be in APSetWindow's canonical (ascending, deduped)
+// order; the cache key is its byte concatenation.
+func (e *Engine) locateGamma(gamma []dot11.MAC) (core.Estimate, error) {
+	e.fixes.Add(1)
+	if len(gamma) == 0 {
+		return core.Estimate{}, core.ErrNoAPs
+	}
+	e.mu.RLock()
+	know := e.know
+	e.mu.RUnlock()
+	if e.cache == nil {
+		e.misses.Add(1)
+		return e.loc.Locate(know, gamma)
+	}
+	key := gammaKey(gamma)
+	if est, err, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		return est, err
+	}
+	e.misses.Add(1)
+	est, err := e.loc.Locate(know, gamma)
+	e.cache.put(key, est, err)
+	return est, err
+}
+
+// Fix estimates the device's position from the observations in the window
+// centred at timeSec.
+func (e *Engine) Fix(dev dot11.MAC, timeSec float64) (core.Estimate, error) {
+	return e.FixRange(dev, timeSec-e.windowSec/2, timeSec+e.windowSec/2)
+}
+
+// FixRange estimates the device's position from the observations with
+// start ≤ t < end.
+func (e *Engine) FixRange(dev dot11.MAC, start, end float64) (core.Estimate, error) {
+	gamma := e.Store().AppendAPSetWindow(nil, dev, start, end)
+	return e.locateGamma(gamma)
+}
+
+// Track produces fixes for the device every stepSec over [startSec,
+// endSec]; windows without observations or with failing localization are
+// skipped. Steps are computed as startSec + i·stepSec (no float
+// accumulation drift).
+func (e *Engine) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]core.TrackPoint, error) {
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("engine: Track needs stepSec > 0")
+	}
+	store := e.Store()
+	var out []core.TrackPoint
+	var buf []dot11.MAC
+	for i := 0; ; i++ {
+		ts := startSec + float64(i)*stepSec
+		if ts > endSec {
+			break
+		}
+		buf = store.AppendAPSetWindow(buf[:0], dev, ts-e.windowSec/2, ts+e.windowSec/2)
+		est, err := e.locateGamma(buf)
+		if err != nil {
+			continue
+		}
+		out = append(out, core.TrackPoint{TimeSec: ts, Est: est})
+	}
+	return out, nil
+}
+
+// Snapshot locates every device with observations in the window centred
+// at timeSec — one full frame of the Marauder's map — fanning the devices
+// out across the worker pool. Devices whose localization fails are
+// omitted. The result is identical to localizing sequentially.
+func (e *Engine) Snapshot(timeSec float64) map[dot11.MAC]core.Estimate {
+	return e.SnapshotRange(timeSec-e.windowSec/2, timeSec+e.windowSec/2)
+}
+
+// SnapshotRange is Snapshot over an explicit observation range — e.g. the
+// whole capture history when replaying an attack offline.
+func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
+	store := e.Store()
+	devs := store.Devices()
+	out := make(map[dot11.MAC]core.Estimate, len(devs))
+	workers := e.workers
+	if workers > len(devs) {
+		workers = len(devs)
+	}
+	if workers <= 1 {
+		var buf []dot11.MAC
+		for _, dev := range devs {
+			buf = store.AppendAPSetWindow(buf[:0], dev, start, end)
+			if est, err := e.locateGamma(buf); err == nil {
+				out[dev] = est
+			}
+		}
+		return out
+	}
+	var (
+		outMu sync.Mutex
+		wg    sync.WaitGroup
+		work  = make(chan dot11.MAC)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []dot11.MAC
+			for dev := range work {
+				buf = store.AppendAPSetWindow(buf[:0], dev, start, end)
+				est, err := e.locateGamma(buf)
+				if err != nil {
+					continue
+				}
+				outMu.Lock()
+				out[dev] = est
+				outMu.Unlock()
+			}
+		}()
+	}
+	for _, dev := range devs {
+		work <- dev
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// Stats reports fix and cache counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Fixes:       e.fixes.Load(),
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+	}
+}

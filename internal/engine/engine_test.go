@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+func mac(hi, lo byte) dot11.MAC { return dot11.MAC{0, 0, 0, 0, hi, lo} }
+
+// gridWorld builds a synthetic campus: nAPs on a grid with 100 m ranges
+// and nDevs devices, each with pairwise records at t=50 naming the APs
+// within range of its position.
+func gridWorld(nAPs, nDevs int) (core.Knowledge, *obs.Store, []dot11.MAC) {
+	k := make(core.Knowledge, nAPs)
+	var aps []core.APInfo
+	side := 1
+	for side*side < nAPs {
+		side++
+	}
+	for i := 0; i < nAPs; i++ {
+		m := mac(0xA0+byte(i/200), byte(i%200))
+		pos := geom.Pt(float64(i%side)*70-350, float64(i/side)*70-350)
+		in := core.APInfo{BSSID: m, Pos: pos, MaxRange: 100}
+		k[m] = in
+		aps = append(aps, in)
+	}
+	store := obs.NewStore()
+	devs := make([]dot11.MAC, nDevs)
+	for d := 0; d < nDevs; d++ {
+		dev := mac(0xD0+byte(d/200), byte(d%200))
+		devs[d] = dev
+		// Deterministic pseudo-random device position.
+		x := float64((d*7919)%700) - 350
+		y := float64((d*104729)%700) - 350
+		pos := geom.Pt(x, y)
+		seq := uint16(1)
+		for _, ap := range aps {
+			if ap.Pos.Dist(pos) <= ap.MaxRange {
+				store.Ingest(50, dot11.NewProbeResponse(ap.BSSID, dev, "", 1, seq), true)
+				seq++
+			}
+		}
+	}
+	return k, store, devs
+}
+
+func testEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for missing WindowSec")
+	}
+	e := testEngine(t, Config{WindowSec: 30})
+	if e.Localizer().Name() != "m-loc" {
+		t.Errorf("default localizer = %q", e.Localizer().Name())
+	}
+	if e.Store() == nil {
+		t.Error("default store missing")
+	}
+}
+
+func TestFixMatchesTracker(t *testing.T) {
+	k, store, devs := gridWorld(60, 10)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+	tr := &core.Tracker{Know: k, Store: store, WindowSec: 30}
+	for _, dev := range devs {
+		got, gotErr := e.Fix(dev, 50)
+		want, wantErr := tr.Fix(dev, 50)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%v: engine err %v, tracker err %v", dev, gotErr, wantErr)
+		}
+		if gotErr == nil && got.Pos != want.Pos {
+			t.Fatalf("%v: engine %v, tracker %v", dev, got.Pos, want.Pos)
+		}
+	}
+	if _, err := e.Fix(devs[0], 500); !errors.Is(err, core.ErrNoAPs) {
+		t.Errorf("empty window: %v", err)
+	}
+}
+
+func TestSnapshotParallelMatchesSequential(t *testing.T) {
+	k, store, _ := gridWorld(80, 50)
+	seq := testEngine(t, Config{Know: k, Store: store, WindowSec: 30, Workers: 1, CacheSize: -1})
+	par := testEngine(t, Config{Know: k, Store: store, WindowSec: 30, Workers: 8, CacheSize: -1})
+	a := seq.Snapshot(50)
+	b := par.Snapshot(50)
+	if len(a) == 0 {
+		t.Fatal("sequential snapshot located nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel snapshot differs: %d vs %d devices", len(a), len(b))
+	}
+}
+
+func TestTrackMatchesTrackerAndSkipsGaps(t *testing.T) {
+	k, store, devs := gridWorld(60, 3)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+	tr := &core.Tracker{Know: k, Store: store, WindowSec: 30}
+	got, err := e.Track(devs[0], 0, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Track(devs[0], 0, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine track %d points, tracker %d", len(got), len(want))
+	}
+	if _, err := e.Track(devs[0], 0, 10, 0); err == nil {
+		t.Error("want error for zero step")
+	}
+}
+
+// TestConcurrentIngestWhileSnapshot streams captures into the store while
+// snapshots and fixes run — the engine's core concurrency contract, meant
+// to run under -race.
+func TestConcurrentIngestWhileSnapshot(t *testing.T) {
+	k, store, devs := gridWorld(60, 20)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30, Workers: 4})
+
+	const (
+		writers         = 3
+		framesPerWriter = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ap := mac(0xA0, byte(w))
+			for i := 0; i < framesPerWriter; i++ {
+				// Mix in out-of-order timestamps to stress the window index.
+				ts := float64(40 + (i*13)%30)
+				e.Ingest(ts, dot11.NewProbeResponse(ap, devs[i%len(devs)], "", 1, uint16(i)), true)
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 15; i++ {
+		snap := e.Snapshot(50)
+		if len(snap) == 0 {
+			t.Error("snapshot located nothing mid-stream")
+			break
+		}
+		if _, err := e.Fix(devs[0], 50); err != nil {
+			t.Errorf("fix mid-stream: %v", err)
+			break
+		}
+	}
+	wg.Wait()
+	// After the stream settles, the parallel cached snapshot must agree
+	// with a fresh sequential uncached engine over the same store.
+	ref := testEngine(t, Config{Know: k, Store: store, WindowSec: 30, Workers: 1, CacheSize: -1})
+	got, want := e.Snapshot(50), ref.Snapshot(50)
+	if len(want) == 0 {
+		t.Fatal("reference snapshot located nothing")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("settled snapshot (%d devices) differs from sequential reference (%d)",
+			len(got), len(want))
+	}
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	k, store, devs := gridWorld(60, 4)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+
+	first, err := e.Fix(devs[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.CacheMisses == 0 || s.CacheHits != 0 {
+		t.Fatalf("after first fix: %+v", s)
+	}
+	second, err := e.Fix(devs[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.CacheHits != 1 {
+		t.Fatalf("after second fix: %+v", s)
+	}
+	if first.Pos != second.Pos {
+		t.Fatal("cached estimate differs")
+	}
+
+	// Shift every AP: the same Γ must now localize elsewhere, so the
+	// cache has to be invalidated by the knowledge swap.
+	shifted := make(core.Knowledge, len(k))
+	for m, in := range k {
+		in.Pos = geom.Pt(in.Pos.X+500, in.Pos.Y)
+		shifted[m] = in
+	}
+	e.SetKnowledge(shifted)
+	third, err := e.Fix(devs[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Pos == first.Pos {
+		t.Fatal("stale estimate served after knowledge update")
+	}
+	if third.Pos.X-first.Pos.X < 499 {
+		t.Fatalf("post-update estimate %v not shifted from %v", third.Pos, first.Pos)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	k, store, devs := gridWorld(60, 2)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30, CacheSize: -1})
+	if _, err := e.Fix(devs[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fix(devs[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.CacheHits != 0 || s.CacheMisses != 2 {
+		t.Fatalf("cache disabled but stats = %+v", s)
+	}
+}
+
+func TestRefreshKnowledgeTrainsAPRad(t *testing.T) {
+	// Positions known, radii withheld: RefreshKnowledge must estimate them
+	// from co-observations and swap the trained base in.
+	base := core.Knowledge{
+		mac(0xA0, 1): {BSSID: mac(0xA0, 1), Pos: geom.Pt(-50, 0)},
+		mac(0xA0, 2): {BSSID: mac(0xA0, 2), Pos: geom.Pt(50, 0)},
+		mac(0xA0, 3): {BSSID: mac(0xA0, 3), Pos: geom.Pt(400, 0)},
+	}
+	e := testEngine(t, Config{
+		Know:      base,
+		Localizer: core.APRadLocalizer{Cfg: core.APRadConfig{MaxRadius: 150}},
+		WindowSec: 30,
+	})
+	dev := mac(0xD0, 1)
+	e.Ingest(10, dot11.NewProbeResponse(mac(0xA0, 1), dev, "", 1, 1), true)
+	e.Ingest(11, dot11.NewProbeResponse(mac(0xA0, 2), dev, "", 6, 2), true)
+
+	// Before training the base has no radii, so M-Loc has no usable discs.
+	if _, err := e.Fix(dev, 10); err == nil {
+		t.Fatal("want failure before radius training")
+	}
+	if err := e.RefreshKnowledge(); err != nil {
+		t.Fatal(err)
+	}
+	know := e.Knowledge()
+	if sum := know[mac(0xA0, 1)].MaxRange + know[mac(0xA0, 2)].MaxRange; sum < 100-1e-6 {
+		t.Fatalf("trained radii sum %v < co-observation distance", sum)
+	}
+	est, err := e.Fix(dev, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != "ap-rad" {
+		t.Errorf("method = %q", est.Method)
+	}
+	if est.Pos.Dist(geom.Pt(0, 0)) > 60 {
+		t.Errorf("estimate %v far from co-observed midpoint", est.Pos)
+	}
+}
+
+func TestRefreshKnowledgeNoopWithoutTrainer(t *testing.T) {
+	k, store, _ := gridWorld(10, 1)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+	if err := e.RefreshKnowledge(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Knowledge(), k) {
+		t.Error("no-op refresh changed the knowledge")
+	}
+}
+
+func TestResetObservations(t *testing.T) {
+	k, store, devs := gridWorld(60, 2)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+	if _, err := e.Fix(devs[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	e.ResetObservations()
+	if n := e.Store().Len(); n != 0 {
+		t.Fatalf("store has %d records after reset", n)
+	}
+	if _, err := e.Fix(devs[0], 50); !errors.Is(err, core.ErrNoAPs) {
+		t.Errorf("fix after reset: %v", err)
+	}
+}
+
+func TestGammaCacheEviction(t *testing.T) {
+	c := newGammaCache(4)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), core.Estimate{K: i}, nil)
+	}
+	if c.len() != 4 {
+		t.Fatalf("len = %d", c.len())
+	}
+	c.put("overflow", core.Estimate{}, nil)
+	if c.len() != 1 {
+		t.Fatalf("eviction kept %d entries, want wholesale refill", c.len())
+	}
+	if _, _, ok := c.get("overflow"); !ok {
+		t.Error("new entry missing after eviction")
+	}
+}
+
+func TestGammaKeyCanonical(t *testing.T) {
+	a := []dot11.MAC{mac(0, 1), mac(0, 2)}
+	b := []dot11.MAC{mac(0, 1), mac(0, 2)}
+	if gammaKey(a) != gammaKey(b) {
+		t.Error("identical Γ produced different keys")
+	}
+	if gammaKey(a) == gammaKey(a[:1]) {
+		t.Error("different Γ collided")
+	}
+}

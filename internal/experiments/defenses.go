@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/engine"
 	"repro/internal/geom"
-	"repro/internal/obs"
 	"repro/internal/privacy"
 	"repro/internal/rf"
 	"repro/internal/sim"
@@ -102,11 +102,12 @@ func DefenseEvaluation(seed int64) (Table, error) {
 	}
 	for _, policy := range policies {
 		defended := policy.Apply(victim.MAC, baseEvents, w.RNG())
-		store := obs.NewStore()
-		for _, c := range sn.CaptureAll(defended) {
-			store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+		eng, err := engine.New(engine.Config{Know: know, WindowSec: 45})
+		if err != nil {
+			return t, fmt.Errorf("defenses engine: %w", err)
 		}
-		tracker := &core.Tracker{Know: know, Store: store, WindowSec: 45}
+		eng.IngestCaptures(sn.CaptureAll(defended))
+		store := eng.Store()
 
 		// The attacker tracks every non-AP identity it has pairwise
 		// records for; all of them are (pseudonyms of) the victim here.
@@ -115,7 +116,7 @@ func DefenseEvaluation(seed int64) (Table, error) {
 		identities := make(map[dot11.MAC]bool)
 		for dev := range store.DeviceAPSets() {
 			identities[dev] = true
-			points, err := tracker.Track(dev, 0, total, scanInterval)
+			points, err := eng.Track(dev, 0, total, scanInterval)
 			if err != nil {
 				return t, fmt.Errorf("defenses track: %w", err)
 			}

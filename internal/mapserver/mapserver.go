@@ -90,6 +90,34 @@ func (s *State) UpdateDevice(mac dot11.MAC, est core.Estimate, truth *geom.Point
 	s.devices[m.MAC] = m
 }
 
+// PublishFrame replaces the whole device layer with one engine snapshot —
+// every device, every window, one dot on the map. truth, when non-nil,
+// supplies the true position for devices whose ground truth the caller
+// knows (simulation); it returns false for the rest.
+func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11.MAC) (geom.Point, bool)) {
+	devices := make(map[string]DeviceMarker, len(frame))
+	for mac, est := range frame {
+		m := DeviceMarker{
+			MAC:    mac.String(),
+			Est:    est.Pos,
+			K:      est.K,
+			Method: est.Method,
+		}
+		if truth != nil {
+			if pos, ok := truth(mac); ok {
+				tcopy := pos
+				m.Truth = &tcopy
+				m.HasTruth = true
+				m.ErrM = est.Pos.Dist(tcopy)
+			}
+		}
+		devices[m.MAC] = m
+	}
+	s.mu.Lock()
+	s.devices = devices
+	s.mu.Unlock()
+}
+
 // RemoveDevice drops a device from the map.
 func (s *State) RemoveDevice(mac dot11.MAC) {
 	s.mu.Lock()

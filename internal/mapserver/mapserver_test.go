@@ -128,3 +128,39 @@ func TestUpdateDeviceCopiesTruth(t *testing.T) {
 		t.Error("UpdateDevice must copy the truth point")
 	}
 }
+
+func TestPublishFrame(t *testing.T) {
+	s := testState()
+	devA := dot11.MAC{0xDD, 0, 0, 0, 0, 2}
+	devB := dot11.MAC{0xDD, 0, 0, 0, 0, 3}
+	frame := map[dot11.MAC]core.Estimate{
+		devA: {Pos: geom.Pt(1, 2), K: 4, Method: "m-loc"},
+		devB: {Pos: geom.Pt(5, 6), K: 2, Method: "ap-rad"},
+	}
+	s.PublishFrame(frame, func(m dot11.MAC) (geom.Point, bool) {
+		if m == devA {
+			return geom.Pt(0, 2), true
+		}
+		return geom.Point{}, false
+	})
+	_, devices := s.snapshot()
+	if len(devices) != 2 {
+		t.Fatalf("frame replaced layer with %d devices, want 2", len(devices))
+	}
+	byMAC := make(map[string]DeviceMarker)
+	for _, d := range devices {
+		byMAC[d.MAC] = d
+	}
+	a := byMAC[devA.String()]
+	if !a.HasTruth || a.ErrM != 1 {
+		t.Errorf("devA marker = %+v", a)
+	}
+	b := byMAC[devB.String()]
+	if b.HasTruth || b.Truth != nil {
+		t.Errorf("devB should carry no truth: %+v", b)
+	}
+	// The device published by testState must be gone: frames replace.
+	if _, ok := byMAC["dd:00:00:00:00:01"]; ok {
+		t.Error("stale device survived PublishFrame")
+	}
+}

@@ -44,19 +44,46 @@ type Record struct {
 type Store struct {
 	mu      sync.RWMutex
 	records []Record
-	seen    map[dot11.MAC]float64 // device -> first seen time
+	byDev   map[dot11.MAC]*deviceLog // per-device window index
+	seen    map[dot11.MAC]float64    // device -> first seen time
 	probing map[dot11.MAC]bool
 	aps     map[dot11.MAC]bool
 	fp      fingerprintStore
 }
 
+// deviceLog is one device's pairwise records, kept sorted by time so
+// window queries binary-search instead of scanning the whole store.
+// Captures almost always arrive in time order, so the sort is usually a
+// no-op; an out-of-order ingest just clears the flag and the next window
+// query re-sorts once.
+type deviceLog struct {
+	recs   []Record
+	sorted bool
+}
+
 // NewStore creates an empty Store.
 func NewStore() *Store {
 	return &Store{
+		byDev:   make(map[dot11.MAC]*deviceLog),
 		seen:    make(map[dot11.MAC]float64),
 		probing: make(map[dot11.MAC]bool),
 		aps:     make(map[dot11.MAC]bool),
 	}
+}
+
+// addRecord appends one pairwise record to the flat log and the device
+// index. Caller holds the write lock.
+func (s *Store) addRecord(r Record) {
+	s.records = append(s.records, r)
+	dl := s.byDev[r.Device]
+	if dl == nil {
+		dl = &deviceLog{sorted: true}
+		s.byDev[r.Device] = dl
+	}
+	if n := len(dl.recs); n > 0 && r.TimeSec < dl.recs[n-1].TimeSec {
+		dl.sorted = false
+	}
+	dl.recs = append(dl.recs, r)
 }
 
 // Ingest classifies one captured frame. fromAP tells whether the capture
@@ -82,13 +109,13 @@ func (s *Store) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
 	case dot11.SubtypeProbeResp:
 		markSeen(f.Addr1)
 		s.aps[f.Addr2] = true
-		s.records = append(s.records, Record{
+		s.addRecord(Record{
 			TimeSec: timeSec, Device: f.Addr1, AP: f.Addr2, Kind: KindProbeResponse,
 		})
 	case dot11.SubtypeAssocReq:
 		markSeen(f.Addr2)
 		s.aps[f.Addr1] = true
-		s.records = append(s.records, Record{
+		s.addRecord(Record{
 			TimeSec: timeSec, Device: f.Addr2, AP: f.Addr1, Kind: KindAssociation,
 		})
 	case dot11.SubtypeBeacon:
@@ -150,22 +177,76 @@ func (s *Store) APSet(dev dot11.MAC) []dot11.MAC {
 const maxFloat = 1.797693134862315708145274237317043567981e308
 
 // APSetWindow returns Γ restricted to observations with start ≤ t < end —
-// the per-position observation when tracking a moving device.
+// the per-position observation when tracking a moving device. The result
+// is deduplicated and in ascending MAC order (deterministic across calls
+// and store layouts).
 func (s *Store) APSetWindow(dev dot11.MAC, start, end float64) []dot11.MAC {
+	return s.AppendAPSetWindow(nil, dev, start, end)
+}
+
+// AppendAPSetWindow appends the window's Γ to dst and returns the extended
+// slice, in the same deduplicated ascending-MAC order as APSetWindow. It
+// is the allocation-friendly form for hot loops: pass dst[:0] of a reused
+// buffer and no per-call allocation happens once the buffer has grown.
+// The query binary-searches the device's time-sorted record log rather
+// than scanning the whole store.
+func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end float64) []dot11.MAC {
+	s.sortDeviceLog(dev)
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := make(map[dot11.MAC]bool)
-	for _, r := range s.records {
-		if r.Device == dev && r.TimeSec >= start && r.TimeSec < end {
-			set[r.AP] = true
+	dl := s.byDev[dev]
+	if dl == nil {
+		s.mu.RUnlock()
+		return dst
+	}
+	base := len(dst)
+	recs := dl.recs
+	if dl.sorted {
+		lo := sort.Search(len(recs), func(i int) bool { return recs[i].TimeSec >= start })
+		hi := lo + sort.Search(len(recs)-lo, func(i int) bool { return recs[lo+i].TimeSec >= end })
+		for _, r := range recs[lo:hi] {
+			dst = append(dst, r.AP)
+		}
+	} else {
+		// An out-of-order ingest slipped in between sortDeviceLog and the
+		// read lock; fall back to a linear scan of this device's log.
+		for _, r := range recs {
+			if r.TimeSec >= start && r.TimeSec < end {
+				dst = append(dst, r.AP)
+			}
 		}
 	}
-	out := make([]dot11.MAC, 0, len(set))
-	for m := range set {
-		out = append(out, m)
+	s.mu.RUnlock()
+	gamma := dst[base:]
+	sortMACs(gamma)
+	// Compact duplicates in place.
+	uniq := 0
+	for i, m := range gamma {
+		if i == 0 || m != gamma[uniq-1] {
+			gamma[uniq] = m
+			uniq++
+		}
 	}
-	sortMACs(out)
-	return out
+	return dst[:base+uniq]
+}
+
+// sortDeviceLog restores a device log's time order after out-of-order
+// ingest, taking the write lock only when needed.
+func (s *Store) sortDeviceLog(dev dot11.MAC) {
+	s.mu.RLock()
+	dl := s.byDev[dev]
+	clean := dl == nil || dl.sorted
+	s.mu.RUnlock()
+	if clean {
+		return
+	}
+	s.mu.Lock()
+	if dl := s.byDev[dev]; dl != nil && !dl.sorted {
+		sort.SliceStable(dl.recs, func(i, j int) bool {
+			return dl.recs[i].TimeSec < dl.recs[j].TimeSec
+		})
+		dl.sorted = true
+	}
+	s.mu.Unlock()
 }
 
 // DeviceAPSets returns Γ_k for every device with at least one pairwise

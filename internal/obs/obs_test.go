@@ -175,3 +175,54 @@ func TestDevicesSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendAPSetWindowReuseAndOrder(t *testing.T) {
+	s := NewStore()
+	dev := mac(1)
+	// Deliberately ingest out of MAC order and with duplicate sightings.
+	s.Ingest(10, dot11.NewProbeResponse(mac(0xC3), dev, "", 1, 1), true)
+	s.Ingest(11, dot11.NewProbeResponse(mac(0xA1), dev, "", 6, 2), true)
+	s.Ingest(12, dot11.NewProbeResponse(mac(0xB2), dev, "", 11, 3), true)
+	s.Ingest(13, dot11.NewProbeResponse(mac(0xA1), dev, "", 6, 4), true)
+
+	want := []dot11.MAC{mac(0xA1), mac(0xB2), mac(0xC3)}
+	if got := s.APSetWindow(dev, 0, 100); !reflect.DeepEqual(got, want) {
+		t.Fatalf("APSetWindow = %v, want ascending %v", got, want)
+	}
+
+	buf := make([]dot11.MAC, 0, 8)
+	got := s.AppendAPSetWindow(buf, dev, 0, 100)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendAPSetWindow = %v, want %v", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("AppendAPSetWindow reallocated despite sufficient capacity")
+	}
+	// Appending preserves a non-empty prefix.
+	pre := []dot11.MAC{mac(0xFF)}
+	got = s.AppendAPSetWindow(pre, dev, 11.5, 12.5)
+	if len(got) != 2 || got[0] != mac(0xFF) || got[1] != mac(0xB2) {
+		t.Fatalf("prefix append = %v", got)
+	}
+}
+
+func TestAPSetWindowOutOfOrderIngest(t *testing.T) {
+	s := NewStore()
+	dev := mac(1)
+	s.Ingest(50, dot11.NewProbeResponse(mac(0xA2), dev, "", 1, 1), true)
+	s.Ingest(10, dot11.NewProbeResponse(mac(0xA1), dev, "", 6, 2), true) // late arrival
+	s.Ingest(90, dot11.NewProbeResponse(mac(0xA3), dev, "", 11, 3), true)
+
+	if got := s.APSetWindow(dev, 0, 20); len(got) != 1 || got[0] != mac(0xA1) {
+		t.Fatalf("window [0,20) = %v", got)
+	}
+	if got := s.APSetWindow(dev, 40, 100); len(got) != 2 ||
+		got[0] != mac(0xA2) || got[1] != mac(0xA3) {
+		t.Fatalf("window [40,100) = %v", got)
+	}
+	// Another late arrival after the index was re-sorted.
+	s.Ingest(15, dot11.NewProbeResponse(mac(0xA4), dev, "", 1, 4), true)
+	if got := s.APSetWindow(dev, 0, 20); len(got) != 2 {
+		t.Fatalf("window after second late arrival = %v", got)
+	}
+}

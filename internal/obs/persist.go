@@ -71,7 +71,9 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("obs: load: %w", err)
 	}
 	s := NewStore()
-	s.records = snap.Records
+	for _, rec := range snap.Records {
+		s.addRecord(rec) // rebuilds the per-device window index too
+	}
 	for _, e := range snap.Seen {
 		s.seen[e.MAC] = e.First
 	}

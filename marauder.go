@@ -16,6 +16,7 @@
 //	internal/apdb      — WiGLE-style AP knowledge base
 //	internal/wardrive  — training-tuple collection (optional phase)
 //	internal/core      — M-Loc, AP-Rad, AP-Loc + baselines + tracker
+//	internal/engine    — concurrent ingest→observe→localize pipeline
 //	internal/theory    — Theorems 2-3 closed forms and Monte-Carlo checks
 //	internal/experiments — regenerates every figure of the evaluation
 //	internal/mapserver — the live map display
