@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check
+.PHONY: all build vet test race bench fmt check metrics-smoke
 
 all: check
 
@@ -32,5 +32,11 @@ bench-engine:
 fmt:
 	gofmt -l -w .
 
+# End-to-end observability gate: boot cmd/marauder on the sim world with
+# -metrics-addr, scrape /metrics, and assert the engine cache counters,
+# snapshot-latency histogram and per-algorithm error histogram are served.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race
+check: vet build test race metrics-smoke

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/experiments"
@@ -17,7 +18,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		slog.Error("benchfig failed", "component", "benchfig", "err", err)
 		os.Exit(1)
 	}
 }

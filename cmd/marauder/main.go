@@ -7,11 +7,17 @@
 //
 //	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid|closest]
 //	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-once]
+//	         [-metrics-addr :9642] [-pprof] [-log-level info] [-log-format text]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
 // the attack runs a single pass and prints per-fix accuracy instead of
 // serving the map.
+//
+// The map port always serves /metrics (Prometheus text format) and
+// /debug/vars (JSON); -metrics-addr serves the same telemetry on a
+// separate port and -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on both.
 package main
 
 import (
@@ -19,9 +25,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -33,12 +41,13 @@ import (
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
+	"repro/internal/telemetry"
 	"repro/internal/wardrive"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "marauder:", err)
+		slog.Error("attack failed", "component", "marauder", "err", err)
 		os.Exit(1)
 	}
 }
@@ -215,8 +224,26 @@ func run(args []string) error {
 	speedup := fs.Float64("speedup", 50, "simulated seconds per wall second")
 	workers := fs.Int("workers", 0, "snapshot worker pool size (0 = GOMAXPROCS)")
 	once := fs.Bool("once", false, "run one pass and print accuracy instead of serving")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (e.g. :9642)")
+	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
+		return err
+	}
+
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: telemetry.Mux(telemetry.Default(), *pprofOn)}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("telemetry server failed", "component", "marauder", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		defer msrv.Close()
+		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
 	a, err := buildAttackWorkers(*seed, *nAPs, *algo, *workers)
@@ -227,7 +254,7 @@ func run(args []string) error {
 	if *once {
 		return runOnce(a, *algo)
 	}
-	return serve(a, *algo, *addr, *speedup)
+	return serve(a, *algo, *addr, *speedup, *pprofOn)
 }
 
 func runOnce(a *attack, algo string) error {
@@ -259,14 +286,20 @@ func runOnce(a *attack, algo string) error {
 	return nil
 }
 
-func serve(a *attack, algo, addr string, speedup float64) error {
+func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	state := mapserver.NewState()
 	state.APsFromKnowledge(a.know)
 
-	srv := &http.Server{Addr: addr, Handler: mapserver.Handler(state)}
+	srv := &http.Server{Addr: addr, Handler: mapserver.NewHandler(state, mapserver.HandlerOpts{Pprof: pprofOn})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("the Marauder's map is live at http://localhost%s (algorithm %s)\n", addr, algo)
+	url := "http://" + addr
+	if strings.HasPrefix(addr, ":") {
+		url = "http://localhost" + addr
+	}
+	slog.Info("the Marauder's map is live",
+		"component", "marauder", "url", url, "algo", algo,
+		"device", a.victim.MAC.String(), "speedup", speedup)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -295,7 +328,10 @@ func serve(a *attack, algo, addr string, speedup float64) error {
 			simTime = next
 			if a.trains {
 				if err := a.eng.RefreshKnowledge(); err != nil {
-					continue // not enough data yet
+					// Not enough data yet; the next tick retries.
+					slog.Debug("knowledge refresh deferred",
+						"component", "marauder", "algo", algo, "err", err)
+					continue
 				}
 			}
 			// One full frame of the map: every observed device localized

@@ -106,3 +106,14 @@ func TestRunOnceAPLoc(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunBadTelemetryFlags(t *testing.T) {
+	// Flag validation happens before the attack is built, so these return
+	// fast.
+	if err := run([]string{"-log-level", "loud", "-once"}); err == nil {
+		t.Error("want error for unknown log level")
+	}
+	if err := run([]string{"-log-format", "yaml", "-once"}); err == nil {
+		t.Error("want error for unknown log format")
+	}
+}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -30,13 +33,14 @@ import (
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
+	"repro/internal/telemetry"
 )
 
 var captureEpoch = time.Date(2008, 10, 24, 0, 0, 0, 0, time.UTC)
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "replay:", err)
+		slog.Error("replay failed", "component", "replay", "err", err)
 		os.Exit(1)
 	}
 }
@@ -51,11 +55,28 @@ func run(args []string) error {
 	obsOut := fs.String("obs", "", "also save the rebuilt observation store as JSON here")
 	demo := fs.Bool("demo", false, "generate a demo capture and AP database first")
 	fallback := fs.Float64("fallback-range", 160, "disc radius for APs with unknown range")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the replay's duration")
+	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
 	}
 	if *pcapPath == "" || *apsPath == "" {
 		return fmt.Errorf("both -pcap and -aps are required")
+	}
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: telemetry.Mux(telemetry.Default(), *pprofOn)}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("telemetry server failed", "component", "replay", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		defer msrv.Close()
+		slog.Info("telemetry listening", "component", "replay", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 	proj := geo.NewProjection(geo.LatLon{Lat: *originLat, Lon: *originLon})
 
@@ -63,7 +84,7 @@ func run(args []string) error {
 		if err := generateDemo(*pcapPath, *apsPath, proj); err != nil {
 			return fmt.Errorf("generate demo: %w", err)
 		}
-		fmt.Printf("demo artifacts written to %s and %s\n", *pcapPath, *apsPath)
+		slog.Info("demo artifacts written", "component", "replay", "pcap", *pcapPath, "aps", *apsPath)
 	}
 
 	apsFile, err := os.Open(*apsPath)
@@ -177,7 +198,7 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("observation store saved to %s\n", *obsOut)
+		slog.Info("observation store saved", "component", "replay", "path", *obsOut)
 	}
 	return nil
 }

@@ -51,4 +51,7 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-bad"}); err == nil {
 		t.Error("want flag error")
 	}
+	if err := run([]string{"-pcap", "x", "-aps", "y", "-log-level", "loud"}); err == nil {
+		t.Error("want log level error")
+	}
 }

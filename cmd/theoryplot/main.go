@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/experiments"
@@ -16,7 +17,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "theoryplot:", err)
+		slog.Error("theoryplot failed", "component", "theoryplot", "err", err)
 		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/apdb"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "wardrive:", err)
+		slog.Error("wardrive failed", "component", "wardrive", "err", err)
 		os.Exit(1)
 	}
 }

@@ -10,8 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
@@ -27,7 +28,8 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve the live map on this address (e.g. :8642)")
 	flag.Parse()
 	if err := run(*serveAddr); err != nil {
-		log.Fatal(err)
+		slog.Error("campustrack failed", "component", "campustrack", "err", err)
+		os.Exit(1)
 	}
 }
 

@@ -8,14 +8,16 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/internal/rf"
 )
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("coverage failed", "component", "coverage", "err", err)
+		os.Exit(1)
 	}
 }
 

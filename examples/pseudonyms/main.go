@@ -10,7 +10,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"sort"
 
 	"repro/internal/core"
@@ -25,7 +26,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("pseudonyms failed", "component", "pseudonyms", "err", err)
+		os.Exit(1)
 	}
 }
 

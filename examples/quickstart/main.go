@@ -7,7 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
@@ -16,12 +17,18 @@ import (
 )
 
 func main() {
+	// fatal is the example's one-line error exit, on the shared slog
+	// conventions (component key, structured err).
+	fatal := func(err error) {
+		slog.Error("quickstart failed", "component", "quickstart", "err", err)
+		os.Exit(1)
+	}
 	// The attacker knows four APs (from WiGLE or a wardrive): position in
 	// a local metre grid and maximum transmission distance.
 	mustMAC := func(s string) dot11.MAC {
 		m, err := dot11.ParseMAC(s)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return m
 	}
@@ -36,7 +43,7 @@ func main() {
 	// per-device AP sets Γ, localize on demand (M-Loc by default).
 	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// The sniffer observed the victim exchanging probe traffic with three
@@ -50,7 +57,7 @@ func main() {
 
 	est, err := eng.Fix(victim, 11)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("M-Loc estimate: %v from k=%d APs (%d region vertices)\n",
 		est.Pos, est.K, len(est.Vertices))
@@ -66,11 +73,11 @@ func main() {
 		WindowSec: 60,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cent, err := centEng.Fix(victim, 11)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("Centroid baseline: %v\n", cent.Pos)
 }

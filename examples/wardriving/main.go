@@ -8,7 +8,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
@@ -20,7 +21,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		slog.Error("wardriving failed", "component", "wardriving", "err", err)
+		os.Exit(1)
 	}
 }
 

@@ -54,20 +54,28 @@ func (c *gammaCache) get(key string) (core.Estimate, error, bool) {
 	return e.est, e.err, ok
 }
 
-func (c *gammaCache) put(key string, est core.Estimate, err error) {
+// put inserts an entry and returns how many entries a wholesale refill
+// evicted (0 when the cap was not reached).
+func (c *gammaCache) put(key string, est core.Estimate, err error) int {
 	c.mu.Lock()
+	evicted := 0
 	if len(c.entries) >= c.max {
+		evicted = len(c.entries)
 		c.entries = make(map[string]cacheEntry)
 	}
 	c.entries[key] = cacheEntry{est: est, err: err}
 	c.mu.Unlock()
+	return evicted
 }
 
-// invalidate drops every entry (the knowledge base changed).
-func (c *gammaCache) invalidate() {
+// invalidate drops every entry (the knowledge base changed) and returns
+// how many were dropped.
+func (c *gammaCache) invalidate() int {
 	c.mu.Lock()
+	dropped := len(c.entries)
 	c.entries = make(map[string]cacheEntry)
 	c.mu.Unlock()
+	return dropped
 }
 
 // len reports the current entry count (for tests).

@@ -15,9 +15,11 @@ package engine
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
@@ -60,9 +62,10 @@ type Engine struct {
 
 	cache *gammaCache
 
-	fixes  atomic.Uint64
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	fixes     atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // Stats counts engine work since construction.
@@ -74,7 +77,17 @@ type Stats struct {
 	CacheHits uint64
 	// CacheMisses is how many ran the localization algorithm.
 	CacheMisses uint64
+	// CacheEvictions is how many cache entries were dropped — by the
+	// wholesale refill at the size cap or by knowledge invalidation.
+	CacheEvictions uint64
+	// Workers is the resolved snapshot worker-pool size.
+	Workers int
 }
+
+// logWorkersOnce makes the resolved-worker startup log fire once per
+// process: on a 1-vCPU box the GOMAXPROCS default silently serializes
+// snapshots, and the log line is what makes that self-explaining.
+var logWorkersOnce sync.Once
 
 // New builds an Engine and validates the configuration.
 func New(cfg Config) (*Engine, error) {
@@ -93,6 +106,15 @@ func New(cfg Config) (*Engine, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	mWorkers.Set(float64(workers))
+	logWorkersOnce.Do(func() {
+		slog.Info("engine worker pool resolved",
+			"component", "engine",
+			"workers", workers,
+			"configured", cfg.Workers,
+			"gomaxprocs", runtime.GOMAXPROCS(0),
+			"algo", loc.Name())
+	})
 	e := &Engine{
 		loc:       loc,
 		windowSec: cfg.WindowSec,
@@ -125,6 +147,7 @@ func (e *Engine) Store() *obs.Store {
 
 // Ingest feeds one captured frame into the observation store.
 func (e *Engine) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
+	mFramesIngested.Inc()
 	e.Store().Ingest(timeSec, f, fromAP)
 }
 
@@ -135,6 +158,7 @@ func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 	for _, c := range caps {
 		store.Ingest(c.TimeSec, c.Frame, c.FromAP)
 	}
+	mFramesIngested.Add(uint64(len(caps)))
 	return len(caps)
 }
 
@@ -161,7 +185,10 @@ func (e *Engine) SetKnowledge(k core.Knowledge) {
 	e.know = k
 	e.mu.Unlock()
 	if e.cache != nil {
-		e.cache.invalidate()
+		if dropped := e.cache.invalidate(); dropped > 0 {
+			e.evictions.Add(uint64(dropped))
+			mCacheEvictions.Add(uint64(dropped))
+		}
 	}
 }
 
@@ -174,6 +201,7 @@ func (e *Engine) RefreshKnowledge() error {
 	if !ok {
 		return nil
 	}
+	start := time.Now()
 	e.mu.RLock()
 	base := e.base
 	store := e.store
@@ -183,6 +211,8 @@ func (e *Engine) RefreshKnowledge() error {
 		return fmt.Errorf("engine: refresh knowledge: %w", err)
 	}
 	e.SetKnowledge(trained)
+	mRefreshes.Inc()
+	mRefreshSeconds.ObserveSince(start)
 	return nil
 }
 
@@ -191,6 +221,7 @@ func (e *Engine) RefreshKnowledge() error {
 // order; the cache key is its byte concatenation.
 func (e *Engine) locateGamma(gamma []dot11.MAC) (core.Estimate, error) {
 	e.fixes.Add(1)
+	mFixes.Inc()
 	if len(gamma) == 0 {
 		return core.Estimate{}, core.ErrNoAPs
 	}
@@ -199,16 +230,22 @@ func (e *Engine) locateGamma(gamma []dot11.MAC) (core.Estimate, error) {
 	e.mu.RUnlock()
 	if e.cache == nil {
 		e.misses.Add(1)
+		mCacheMisses.Inc()
 		return e.loc.Locate(know, gamma)
 	}
 	key := gammaKey(gamma)
 	if est, err, ok := e.cache.get(key); ok {
 		e.hits.Add(1)
+		mCacheHits.Inc()
 		return est, err
 	}
 	e.misses.Add(1)
+	mCacheMisses.Inc()
 	est, err := e.loc.Locate(know, gamma)
-	e.cache.put(key, est, err)
+	if evicted := e.cache.put(key, est, err); evicted > 0 {
+		e.evictions.Add(uint64(evicted))
+		mCacheEvictions.Add(uint64(evicted))
+	}
 	return est, err
 }
 
@@ -262,6 +299,11 @@ func (e *Engine) Snapshot(timeSec float64) map[dot11.MAC]core.Estimate {
 // SnapshotRange is Snapshot over an explicit observation range — e.g. the
 // whole capture history when replaying an attack offline.
 func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
+	began := time.Now()
+	defer func() {
+		mSnapshots.Inc()
+		mSnapshotSeconds.ObserveSince(began)
+	}()
 	store := e.Store()
 	devs := store.Devices()
 	out := make(map[dot11.MAC]core.Estimate, len(devs))
@@ -312,8 +354,10 @@ func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
 // Stats reports fix and cache counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Fixes:       e.fixes.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
+		Fixes:          e.fixes.Load(),
+		CacheHits:      e.hits.Load(),
+		CacheMisses:    e.misses.Load(),
+		CacheEvictions: e.evictions.Load(),
+		Workers:        e.workers,
 	}
 }

@@ -329,3 +329,86 @@ func TestGammaKeyCanonical(t *testing.T) {
 		t.Error("different Γ collided")
 	}
 }
+
+// TestTelemetryCountersTrackCache re-runs the cache-invalidation scenario
+// and asserts the process-wide telemetry counters advance in lockstep with
+// the engine's own Stats — the exported hit/miss/eviction series must be
+// trustworthy before any scaling PR leans on them.
+func TestTelemetryCountersTrackCache(t *testing.T) {
+	k, store, devs := gridWorld(60, 4)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+
+	base := e.Stats()
+	hits0, misses0 := mCacheHits.Value(), mCacheMisses.Value()
+	evict0, fixes0 := mCacheEvictions.Value(), mFixes.Value()
+
+	if _, err := e.Fix(devs[0], 50); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := e.Fix(devs[0], 50); err != nil { // hit
+		t.Fatal(err)
+	}
+	shifted := make(core.Knowledge, len(k))
+	for m, in := range k {
+		in.Pos = geom.Pt(in.Pos.X+500, in.Pos.Y)
+		shifted[m] = in
+	}
+	e.SetKnowledge(shifted)                       // evicts the one cached entry
+	if _, err := e.Fix(devs[0], 50); err != nil { // miss again
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	wantHits := s.CacheHits - base.CacheHits
+	wantMisses := s.CacheMisses - base.CacheMisses
+	wantEvict := s.CacheEvictions - base.CacheEvictions
+	wantFixes := s.Fixes - base.Fixes
+	if wantHits != 1 || wantMisses != 2 || wantEvict != 1 || wantFixes != 3 {
+		t.Fatalf("engine stats delta hits=%d misses=%d evictions=%d fixes=%d",
+			wantHits, wantMisses, wantEvict, wantFixes)
+	}
+	if got := mCacheHits.Value() - hits0; got != wantHits {
+		t.Errorf("telemetry hits delta = %d, want %d", got, wantHits)
+	}
+	if got := mCacheMisses.Value() - misses0; got != wantMisses {
+		t.Errorf("telemetry misses delta = %d, want %d", got, wantMisses)
+	}
+	if got := mCacheEvictions.Value() - evict0; got != wantEvict {
+		t.Errorf("telemetry evictions delta = %d, want %d", got, wantEvict)
+	}
+	if got := mFixes.Value() - fixes0; got != wantFixes {
+		t.Errorf("telemetry fixes delta = %d, want %d", got, wantFixes)
+	}
+}
+
+// TestStatsReportWorkers covers the satellite fix: the resolved pool size
+// (after the GOMAXPROCS default) is observable, not silent.
+func TestStatsReportWorkers(t *testing.T) {
+	e := testEngine(t, Config{WindowSec: 30, Workers: 3})
+	if got := e.Stats().Workers; got != 3 {
+		t.Fatalf("workers = %d", got)
+	}
+	auto := testEngine(t, Config{WindowSec: 30})
+	if got := auto.Stats().Workers; got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto workers = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if mWorkers.Value() != float64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("worker gauge = %v", mWorkers.Value())
+	}
+}
+
+// TestSnapshotTelemetry asserts the snapshot counter and latency histogram
+// advance per snapshot.
+func TestSnapshotTelemetry(t *testing.T) {
+	k, store, _ := gridWorld(30, 5)
+	e := testEngine(t, Config{Know: k, Store: store, WindowSec: 30})
+	snaps0, lat0 := mSnapshots.Value(), mSnapshotSeconds.Count()
+	e.Snapshot(50)
+	e.Snapshot(50)
+	if got := mSnapshots.Value() - snaps0; got != 2 {
+		t.Errorf("snapshot counter delta = %d", got)
+	}
+	if got := mSnapshotSeconds.Count() - lat0; got != 2 {
+		t.Errorf("snapshot latency observations delta = %d", got)
+	}
+}

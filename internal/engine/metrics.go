@@ -1,0 +1,41 @@
+package engine
+
+import "repro/internal/telemetry"
+
+// Process-wide pipeline metrics, registered at package init so an
+// exposition endpoint serves the full engine series set from the first
+// scrape. Several engines in one process share these series (the gauge is
+// last-engine-wins); the per-engine view stays available through
+// Engine.Stats.
+var (
+	mFramesIngested = telemetry.Default().Counter(
+		"marauder_engine_frames_ingested_total",
+		"Captured frames fed into the observation store through the engine.", nil)
+	mSnapshots = telemetry.Default().Counter(
+		"marauder_engine_snapshots_total",
+		"Full map-frame snapshots taken.", nil)
+	mSnapshotSeconds = telemetry.Default().Histogram(
+		"marauder_engine_snapshot_seconds",
+		"Wall time per map-frame snapshot.", telemetry.LatencyBuckets(), nil)
+	mWorkers = telemetry.Default().Gauge(
+		"marauder_engine_workers",
+		"Resolved snapshot worker-pool size (Config.Workers after the GOMAXPROCS default).", nil)
+	mFixes = telemetry.Default().Counter(
+		"marauder_engine_fixes_total",
+		"Localization requests answered, cached or computed, successful or not.", nil)
+	mCacheHits = telemetry.Default().Counter(
+		"marauder_engine_cache_hits_total",
+		"Fixes served from the Γ-memoization cache.", nil)
+	mCacheMisses = telemetry.Default().Counter(
+		"marauder_engine_cache_misses_total",
+		"Fixes that ran the localization algorithm.", nil)
+	mCacheEvictions = telemetry.Default().Counter(
+		"marauder_engine_cache_evictions_total",
+		"Γ-cache entries dropped by wholesale refill or knowledge invalidation.", nil)
+	mRefreshes = telemetry.Default().Counter(
+		"marauder_engine_knowledge_refresh_total",
+		"Knowledge re-training runs (RefreshKnowledge on a trained algorithm).", nil)
+	mRefreshSeconds = telemetry.Default().Histogram(
+		"marauder_engine_knowledge_refresh_seconds",
+		"Wall time per knowledge re-training run.", telemetry.LatencyBuckets(), nil)
+)

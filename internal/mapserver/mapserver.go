@@ -11,11 +11,50 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
+
+// Process-wide display metrics. The localization-error histogram is the
+// map's built-in accuracy read-out: whenever a published estimate comes
+// with ground truth (simulation), the error distance is recorded under the
+// estimate's algorithm label.
+var (
+	mFramesPublished = telemetry.Default().Counter(
+		"marauder_map_frames_published_total",
+		"Whole-map device frames published to the display.", nil)
+	mDevicesOnMap = telemetry.Default().Gauge(
+		"marauder_map_devices",
+		"Devices currently shown on the map.", nil)
+)
+
+// mRequests / mRequestSeconds instrument every HTTP route the handler
+// serves, labeled by route pattern.
+func mRequests(route string) *telemetry.Counter {
+	return telemetry.Default().Counter(
+		"marauder_http_requests_total",
+		"HTTP requests served, by route.", telemetry.Labels{"route": route})
+}
+
+func mRequestSeconds(route string) *telemetry.Histogram {
+	return telemetry.Default().Histogram(
+		"marauder_http_request_seconds",
+		"HTTP request latency, by route.", telemetry.LatencyBuckets(),
+		telemetry.Labels{"route": route})
+}
+
+// observeError records one localization error distance under the
+// algorithm (Estimate.Method) label.
+func observeError(algo string, errM float64) {
+	telemetry.Default().Histogram(
+		"marauder_localization_error_meters",
+		"Localization error versus ground truth, by algorithm.",
+		telemetry.DistanceBuckets(), telemetry.Labels{"algo": algo}).Observe(errM)
+}
 
 // APMarker is one AP dot on the map.
 type APMarker struct {
@@ -84,10 +123,12 @@ func (s *State) UpdateDevice(mac dot11.MAC, est core.Estimate, truth *geom.Point
 		m.Truth = &tcopy
 		m.HasTruth = true
 		m.ErrM = est.Pos.Dist(tcopy)
+		observeError(est.Method, m.ErrM)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.devices[m.MAC] = m
+	mDevicesOnMap.Set(float64(len(s.devices)))
 }
 
 // PublishFrame replaces the whole device layer with one engine snapshot —
@@ -109,6 +150,7 @@ func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11
 				m.Truth = &tcopy
 				m.HasTruth = true
 				m.ErrM = est.Pos.Dist(tcopy)
+				observeError(est.Method, m.ErrM)
 			}
 		}
 		devices[m.MAC] = m
@@ -116,6 +158,8 @@ func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11
 	s.mu.Lock()
 	s.devices = devices
 	s.mu.Unlock()
+	mFramesPublished.Inc()
+	mDevicesOnMap.Set(float64(len(devices)))
 }
 
 // RemoveDevice drops a device from the map.
@@ -123,6 +167,7 @@ func (s *State) RemoveDevice(mac dot11.MAC) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.devices, mac.String())
+	mDevicesOnMap.Set(float64(len(s.devices)))
 }
 
 // snapshot copies the current state for serialization.
@@ -141,10 +186,46 @@ func (s *State) snapshot() (aps []APMarker, devices []DeviceMarker) {
 //go:embed static
 var staticFS embed.FS
 
-// Handler returns the HTTP handler for the map UI and API.
+// HandlerOpts configures the map server's HTTP surface.
+type HandlerOpts struct {
+	// Registry is the metrics registry exposed at /metrics and
+	// /debug/vars; nil uses the process-wide default registry.
+	Registry *telemetry.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling endpoints can stall the serving goroutine and leak
+	// internals, so the display port only gets them when asked).
+	Pprof bool
+}
+
+// instrument wraps a route handler with the per-route request counter and
+// latency histogram.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := mRequests(route)
+	lat := mRequestSeconds(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveSince(start)
+	}
+}
+
+// Handler returns the HTTP handler for the map UI and API, with the
+// default telemetry endpoints and no pprof.
 func Handler(state *State) http.Handler {
+	return NewHandler(state, HandlerOpts{})
+}
+
+// NewHandler returns the HTTP handler for the map UI, the JSON API and
+// the observability endpoints: /metrics (Prometheus text format) and
+// /debug/vars (expvar-style JSON) always, /debug/pprof/ when opted in.
+func NewHandler(state *State, opts HandlerOpts) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/state", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/api/state", instrument("/api/state", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -158,8 +239,13 @@ func Handler(state *State) http.Handler {
 		if err != nil {
 			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
 		}
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/metrics", instrument("/metrics", reg.MetricsHandler().ServeHTTP))
+	mux.Handle("/debug/vars", instrument("/debug/vars", reg.VarsHandler().ServeHTTP))
+	if opts.Pprof {
+		telemetry.RegisterPprof(mux)
+	}
+	mux.HandleFunc("/", instrument("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -173,6 +259,6 @@ func Handler(state *State) http.Handler {
 		if _, err := w.Write(page); err != nil {
 			return
 		}
-	})
+	}))
 	return mux
 }

@@ -2,6 +2,7 @@ package mapserver
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/geom"
+	"repro/internal/telemetry"
 )
 
 func testState() *State {
@@ -162,5 +164,91 @@ func TestPublishFrame(t *testing.T) {
 	// The device published by testState must be gone: frames replace.
 	if _, ok := byMAC["dd:00:00:00:00:01"]; ok {
 		t.Error("stale device survived PublishFrame")
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_probe_total", "", nil).Add(9)
+	srv := httptest.NewServer(NewHandler(testState(), HandlerOpts{Registry: reg, Pprof: true}))
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if !strings.Contains(string(body), "test_probe_total 9") {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+
+	res, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	err = json.NewDecoder(res.Body).Decode(&vars)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["test_probe_total"].(float64) != 9 {
+		t.Errorf("/debug/vars = %v", vars)
+	}
+
+	res, err = http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", res.StatusCode)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewState()))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof not opted in but status = %d", res.StatusCode)
+	}
+	// The default handler still serves telemetry.
+	res, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "marauder_map_frames_published_total") {
+		t.Errorf("default /metrics missing map series:\n%s", body)
+	}
+}
+
+func TestPublishFrameRecordsErrorHistogram(t *testing.T) {
+	h := telemetry.Default().Histogram("marauder_localization_error_meters", "",
+		telemetry.DistanceBuckets(), telemetry.Labels{"algo": "m-loc"})
+	before := h.Count()
+	s := NewState()
+	dev := dot11.MAC{0xDD, 0, 0, 0, 0, 8}
+	s.PublishFrame(map[dot11.MAC]core.Estimate{
+		dev: {Pos: geom.Pt(3, 4), Method: "m-loc"},
+	}, func(dot11.MAC) (geom.Point, bool) { return geom.Pt(0, 0), true })
+	if h.Count() != before+1 {
+		t.Fatalf("error histogram count %d -> %d, want +1", before, h.Count())
+	}
+	if sum := h.Sum(); sum <= 0 {
+		t.Fatalf("error histogram sum = %v", sum)
 	}
 }

@@ -1,0 +1,23 @@
+package obs
+
+import "repro/internal/telemetry"
+
+// Process-wide observation-store metrics. All stores in the process share
+// these series; they answer the operational questions the store itself
+// can't — is ingest keeping up, are captures arriving out of order (each
+// one forces a re-sort on the next window query), and what a window query
+// costs on the hot localization path.
+var (
+	mRecords = telemetry.Default().Counter(
+		"marauder_obs_records_total",
+		"Pairwise device-AP observation records appended.", nil)
+	mOutOfOrder = telemetry.Default().Counter(
+		"marauder_obs_out_of_order_total",
+		"Records that arrived behind their device log's tail, marking it for re-sort.", nil)
+	mResorts = telemetry.Default().Counter(
+		"marauder_obs_resorts_total",
+		"Device logs re-sorted by a window query after out-of-order ingest.", nil)
+	mWindowSeconds = telemetry.Default().Histogram(
+		"marauder_obs_window_query_seconds",
+		"Latency of one Γ window query (AppendAPSetWindow).", telemetry.LatencyBuckets(), nil)
+)

@@ -9,8 +9,10 @@
 package obs
 
 import (
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dot11"
 )
@@ -82,8 +84,10 @@ func (s *Store) addRecord(r Record) {
 	}
 	if n := len(dl.recs); n > 0 && r.TimeSec < dl.recs[n-1].TimeSec {
 		dl.sorted = false
+		mOutOfOrder.Inc()
 	}
 	dl.recs = append(dl.recs, r)
+	mRecords.Inc()
 }
 
 // Ingest classifies one captured frame. fromAP tells whether the capture
@@ -191,6 +195,7 @@ func (s *Store) APSetWindow(dev dot11.MAC, start, end float64) []dot11.MAC {
 // The query binary-searches the device's time-sorted record log rather
 // than scanning the whole store.
 func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end float64) []dot11.MAC {
+	defer mWindowSeconds.ObserveSince(time.Now())
 	s.sortDeviceLog(dev)
 	s.mu.RLock()
 	dl := s.byDev[dev]
@@ -245,6 +250,9 @@ func (s *Store) sortDeviceLog(dev dot11.MAC) {
 			return dl.recs[i].TimeSec < dl.recs[j].TimeSec
 		})
 		dl.sorted = true
+		mResorts.Inc()
+		slog.Debug("re-sorted device log after out-of-order ingest",
+			"component", "obs", "device", dev.String(), "records", len(dl.recs))
 	}
 	s.mu.Unlock()
 }

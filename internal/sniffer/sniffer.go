@@ -21,6 +21,20 @@ import (
 	"repro/internal/pcap"
 	"repro/internal/rf"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Process-wide capture metrics: how much of the air the sniffer actually
+// decodes. A dropped frame is one no monitoring card could decode — the
+// link budget didn't close or no card sat near the transmit channel — and
+// is otherwise invisible: it never reaches the observation store.
+var (
+	mCaptured = telemetry.Default().Counter(
+		"marauder_sniffer_frames_captured_total",
+		"Transmitted frames the sniffer decoded.", nil)
+	mDropped = telemetry.Default().Counter(
+		"marauder_sniffer_frames_dropped_total",
+		"Transmitted frames no monitoring card could decode.", nil)
 )
 
 // Config configures a sniffer deployment.
@@ -106,6 +120,11 @@ func (s *Sniffer) TryCapture(ev sim.TxEvent) (Capture, bool) {
 			}
 			ok = true
 		}
+	}
+	if ok {
+		mCaptured.Inc()
+	} else {
+		mDropped.Inc()
 	}
 	return best, ok
 }

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers, one sample
+// line per instance, histograms expanded into cumulative _bucket series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.labelKeys {
+			if err := writePromInstance(w, f.name, key, f.instances[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promSeries renders `name{labels}` with extra label pairs appended to the
+// canonical label string (used for histogram le buckets).
+func promSeries(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromInstance(w io.Writer, name, labels string, m any) error {
+	switch m := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", promSeries(name, labels, ""), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", promSeries(name, labels, ""), formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		cum := m.Cumulative()
+		for i, bound := range m.bounds {
+			le := `le="` + formatFloat(bound) + `"`
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(name+"_bucket", labels, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(name+"_bucket", labels, `le="+Inf"`), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(name+"_sum", labels, ""), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", promSeries(name+"_count", labels, ""), m.Count())
+		return err
+	}
+	return fmt.Errorf("telemetry: unknown metric type %T", m)
+}
+
+// histogramJSON is the JSON exposition of one histogram instance.
+type histogramJSON struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets map[string]uint64 `json:"buckets"` // upper bound -> cumulative count
+}
+
+// WriteJSON renders every registered metric as one flat expvar-style JSON
+// object: counters and gauges as numbers, histograms as
+// {count, sum, buckets}. Labeled instances key as `name{k="v"}`.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		for _, key := range f.labelKeys {
+			series := promSeries(f.name, key, "")
+			switch m := f.instances[key].(type) {
+			case *Counter:
+				out[series] = m.Value()
+			case *Gauge:
+				out[series] = m.Value()
+			case *Histogram:
+				buckets := make(map[string]uint64, len(m.bounds)+1)
+				cum := m.Cumulative()
+				for i, bound := range m.bounds {
+					buckets[formatFloat(bound)] = cum[i]
+				}
+				buckets["+Inf"] = cum[len(cum)-1]
+				out[series] = histogramJSON{Count: m.Count(), Sum: m.Sum(), Buckets: buckets}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// MetricsHandler serves the registry in Prometheus text format — mount it
+// at /metrics.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the registry as expvar-style JSON — mount it at
+// /debug/vars.
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// the given mux — the explicit, opt-in form of importing net/http/pprof
+// (which would silently register on http.DefaultServeMux).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Mux builds the standalone telemetry endpoint: /metrics (Prometheus),
+// /debug/vars (JSON) and, when enablePprof is set, /debug/pprof/. The
+// commands serve it on their -metrics-addr.
+func Mux(r *Registry, enablePprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", r.VarsHandler())
+	if enablePprof {
+		RegisterPprof(mux)
+	}
+	return mux
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of each metric kind, labeled
+// and unlabeled, with deterministic values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("app_frames_total", "Frames processed.", nil).Add(42)
+	r.Counter("app_requests_total", "HTTP requests.", Labels{"route": "/api/state"}).Add(7)
+	r.Counter("app_requests_total", "HTTP requests.", Labels{"route": "/"}).Add(2)
+	r.Gauge("app_workers", "Worker pool size.", nil).Set(4)
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1}, nil)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_frames_total Frames processed.
+# TYPE app_frames_total counter
+app_frames_total 42
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 1
+app_latency_seconds_bucket{le="0.1"} 3
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 5.105
+app_latency_seconds_count 4
+# HELP app_requests_total HTTP requests.
+# TYPE app_requests_total counter
+app_requests_total{route="/"} 2
+app_requests_total{route="/api/state"} 7
+# HELP app_workers Worker pool size.
+# TYPE app_workers gauge
+app_workers 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if out["app_frames_total"].(float64) != 42 {
+		t.Errorf("app_frames_total = %v", out["app_frames_total"])
+	}
+	if out[`app_requests_total{route="/api/state"}`].(float64) != 7 {
+		t.Errorf("labeled counter = %v", out[`app_requests_total{route="/api/state"}`])
+	}
+	hist := out["app_latency_seconds"].(map[string]any)
+	if hist["count"].(float64) != 4 {
+		t.Errorf("histogram count = %v", hist["count"])
+	}
+	buckets := hist["buckets"].(map[string]any)
+	if buckets["+Inf"].(float64) != 4 || buckets["0.1"].(float64) != 3 {
+		t.Errorf("histogram buckets = %v", buckets)
+	}
+}
+
+func TestHandlersAndMux(t *testing.T) {
+	r := goldenRegistry()
+	mux := Mux(r, true)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "app_frames_total 42") {
+		t.Errorf("/metrics body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/vars status %d", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", rec.Code)
+	}
+
+	// Without pprof the debug routes must 404.
+	bare := Mux(r, false)
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Fatalf("pprof disabled but /debug/pprof/ -> %d", rec.Code)
+	}
+}
+
+func TestDefaultRegistryIsProcessWide(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not stable")
+	}
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", nil)
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterGetOrCreateSharesInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "", Labels{"route": "/api"})
+	b := r.Counter("shared_total", "", Labels{"route": "/api"})
+	other := r.Counter("shared_total", "", Labels{"route": "/metrics"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if a == other {
+		t.Fatal("different labels shared one counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("aliased counter = %d", b.Value())
+	}
+	if other.Value() != 0 {
+		t.Fatalf("label-split counter = %d", other.Value())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_metric", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("conflict_metric", "", nil)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_workers", "", nil)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge after Add = %v", g.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 4002.5 {
+		t.Fatalf("concurrent gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "", []float64{0.1, 1, 10}, nil)
+	// A value exactly on a bound lands in that bound's bucket (le is ≤,
+	// Prometheus semantics).
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 2, 100} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	// le=0.1: 0.05, 0.1 → 2; le=1: +0.5, 1.0 → 4; le=10: +2 → 5; +Inf: 6.
+	want := []uint64{2, 4, 5, 6}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-103.65) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "", LatencyBuckets(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	cum := h.Cumulative()
+	if got := cum[len(cum)-1]; got != 20000 {
+		t.Fatalf("+Inf bucket = %d", got)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_since_seconds", "", []float64{1000}, nil)
+	h.ObserveSince(time.Now().Add(-time.Second))
+	if h.Count() != 1 || h.Sum() < 0.9 || h.Sum() > 100 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBoundsFixedByFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("test_fixed_seconds", "", []float64{1, 2}, Labels{"algo": "m-loc"})
+	b := r.Histogram("test_fixed_seconds", "", []float64{9, 99, 999}, Labels{"algo": "ap-rad"})
+	if got := b.Bounds(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("second instance bounds = %v, want the family's [1 2]", got)
+	}
+	if a == b {
+		t.Fatal("labels did not split instances")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := labelKey(Labels{"p": `a\b"c` + "\n"}); got != `p="a\\b\"c\n"` {
+		t.Fatalf("labelKey = %s", got)
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	if _, err := NewLogger(nil, "nope", "text"); err == nil {
+		t.Error("want error for bad level")
+	}
+	if _, err := NewLogger(nil, "info", "yaml"); err == nil {
+		t.Error("want error for bad format")
+	}
+	for _, lv := range []string{"debug", "info", "warn", "error", ""} {
+		for _, f := range []string{"text", "json", ""} {
+			if _, err := NewLogger(nil, lv, f); err != nil {
+				t.Errorf("level=%q format=%q: %v", lv, f, err)
+			}
+		}
+	}
+}
