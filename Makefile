@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke
+.PHONY: all build vet test race bench fmt check metrics-smoke fuzz-smoke bench-ingest
 
 all: check
 
@@ -28,6 +28,20 @@ bench:
 
 bench-engine:
 	$(GO) test -run xxx -bench BenchmarkEngineSnapshot .
+
+# Seed single-lock store vs the sharded+batched ingest path, with a
+# benchstat comparison when benchstat is available.
+bench-ingest:
+	sh scripts/bench_ingest.sh
+
+# Short fuzzing burst over every fuzz target: the frame parser, the
+# radiotap splitter, and the sharded store's record ingest. Checked-in
+# corpora under testdata/fuzz replay as plain tests; this keeps mining.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime=10s ./internal/dot11
+	$(GO) test -run xxx -fuzz 'FuzzDecodeRadiotap$$' -fuzztime=10s ./internal/dot11
+	$(GO) test -run xxx -fuzz 'FuzzFrameParse$$' -fuzztime=10s ./internal/dot11
+	$(GO) test -run xxx -fuzz 'FuzzIngest$$' -fuzztime=10s ./internal/obs
 
 fmt:
 	gofmt -l -w .

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid|closest]
-//	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-once]
+//	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-shards 0] [-once]
 //	         [-metrics-addr :9642] [-pprof] [-log-level info] [-log-format text]
 //
 // All five of the paper's algorithms select through the same
@@ -127,10 +127,10 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 }
 
 func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
-	return buildAttackWorkers(seed, nAPs, algo, 0)
+	return buildAttackWorkers(seed, nAPs, algo, 0, 0)
 }
 
-func buildAttackWorkers(seed int64, nAPs int, algo string, workers int) (*attack, error) {
+func buildAttackWorkers(seed int64, nAPs int, algo string, workers, shards int) (*attack, error) {
 	w := sim.NewWorld(seed)
 	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
 		N:        nAPs,
@@ -176,6 +176,7 @@ func buildAttackWorkers(seed int64, nAPs int, algo string, workers int) (*attack
 	_, trains := locate.(core.KnowledgeTrainer)
 	eng, err := engine.New(engine.Config{
 		Know:      base,
+		Store:     obs.NewStoreShards(shards),
 		Localizer: locate,
 		WindowSec: 45,
 		Workers:   workers,
@@ -201,18 +202,18 @@ func buildAttackWorkers(seed int64, nAPs int, algo string, workers int) (*attack
 }
 
 // captureUpTo simulates and captures the victim's probing traffic in
-// [from, to) seconds of route time, streaming it into the engine.
+// [from, to) seconds of route time, accumulating the decoded frames of
+// all scan bursts into one batch and delivering it to the engine through
+// the store's sharded batch-ingest path.
 func (a *attack) captureUpTo(from, to float64) {
 	seq := uint16(from/30) + 1
+	var batch []sniffer.Capture
 	for t := from; t < to; t += 30 {
 		pos := a.victim.PosAt(t)
-		for _, ev := range sim.ScanBurst(a.world, a.victim, t, pos, seq) {
-			if c, ok := a.sniffer.TryCapture(ev); ok {
-				a.eng.Ingest(c.TimeSec, c.Frame, c.FromAP)
-			}
-		}
+		batch = a.sniffer.CaptureAllInto(batch, sim.ScanBurst(a.world, a.victim, t, pos, seq))
 		seq++
 	}
+	a.eng.IngestCaptures(batch)
 }
 
 func run(args []string) error {
@@ -223,6 +224,7 @@ func run(args []string) error {
 	nAPs := fs.Int("aps", 300, "number of deployed APs")
 	speedup := fs.Float64("speedup", 50, "simulated seconds per wall second")
 	workers := fs.Int("workers", 0, "snapshot worker pool size (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "observation store shard count, rounded to a power of two (0 = GOMAXPROCS-rounded)")
 	once := fs.Bool("once", false, "run one pass and print accuracy instead of serving")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this extra address (e.g. :9642)")
 	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
@@ -246,7 +248,7 @@ func run(args []string) error {
 		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
-	a, err := buildAttackWorkers(*seed, *nAPs, *algo, *workers)
+	a, err := buildAttackWorkers(*seed, *nAPs, *algo, *workers, *shards)
 	if err != nil {
 		return err
 	}
@@ -289,6 +291,15 @@ func runOnce(a *attack, algo string) error {
 func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	state := mapserver.NewState()
 	state.APsFromKnowledge(a.know)
+	state.SetStatsSource(func() any {
+		st := a.eng.Stats()
+		return map[string]any{
+			"algo":       algo,
+			"engine":     st,
+			"shardLens":  a.eng.Store().ShardLens(),
+			"obsDevices": len(a.eng.Store().Devices()),
+		}
+	})
 
 	srv := &http.Server{Addr: addr, Handler: mapserver.NewHandler(state, mapserver.HandlerOpts{Pprof: pprofOn})}
 	errCh := make(chan error, 1)

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid|closest|aprad]
-//	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json]
+//	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json] [-shards 0]
 //
 // With -demo it first generates a demo capture+database pair into the
 // given paths, then replays them (useful without prior artifacts).
@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geo"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sim"
 	"repro/internal/sniffer"
@@ -55,6 +56,7 @@ func run(args []string) error {
 	obsOut := fs.String("obs", "", "also save the rebuilt observation store as JSON here")
 	demo := fs.Bool("demo", false, "generate a demo capture and AP database first")
 	fallback := fs.Float64("fallback-range", 160, "disc radius for APs with unknown range")
+	shards := fs.Int("shards", 0, "observation store shard count, rounded to a power of two (0 = GOMAXPROCS-rounded)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the replay's duration")
 	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -140,21 +142,21 @@ func run(args []string) error {
 
 	eng, err := engine.New(engine.Config{
 		Know:      know,
+		Store:     obs.NewStoreShards(*shards),
 		Localizer: locate,
 		WindowSec: 60, // SnapshotRange below spans the whole capture
 	})
 	if err != nil {
 		return err
 	}
-	for _, c := range caps {
+	for i := range caps {
 		// Replay cannot know the capture-side FromAP attribution; trust
 		// beacons whose source appears in the AP database.
-		fromAP := false
-		if _, ok := db.Get(c.Frame.Addr2); ok {
-			fromAP = true
-		}
-		eng.Ingest(c.TimeSec, c.Frame, fromAP)
+		_, caps[i].FromAP = db.Get(caps[i].Frame.Addr2)
 	}
+	// The whole capture is one batch: the store groups it by shard and
+	// takes each shard lock once instead of once per frame.
+	eng.IngestCaptures(caps)
 	store := eng.Store()
 	fmt.Printf("replayed %d frames: %d devices (%d probing), %d APs observed\n",
 		len(caps), len(store.Devices()), len(store.ProbingDevices()), len(store.APs()))

@@ -30,6 +30,48 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzFrameParse drives the full parse surface the observation pipeline
+// touches on every capture: Decode, then for accepted frames the element
+// accessors (SSID, Channel), channel math, and the encode round trip.
+// None of it may panic, and derived values must stay in range.
+func FuzzFrameParse(f *testing.F) {
+	seed1, _ := NewBeacon(MAC{0xA0, 1, 2, 3, 4, 5}, "corp-net", 11, 100, 9).Encode()
+	seed2, _ := NewProbeRequest(MAC{0xDD, 0, 0, 0, 0, 1}, "home", 3).Encode()
+	seed3, _ := NewProbeResponse(MAC{0xA0, 9}, MAC{0xDD, 9}, "café ☕", 14, 2).Encode()
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add(seed3)
+	f.Add([]byte{0x40, 0x00, 0x00, 0x00}) // truncated probe request
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if ssid, ok := frame.SSID(); ok && len(ssid) > 255 {
+			t.Fatalf("SSID longer than an element can carry: %d bytes", len(ssid))
+		}
+		if ch, ok := frame.Channel(); ok {
+			if freq, err := ChannelFreqHz(ch); err == nil {
+				if freq < 2.4e9 || freq > 2.5e9 {
+					t.Fatalf("channel %d mapped to out-of-band frequency %v", ch, freq)
+				}
+				for rx := 1; rx <= 14; rx++ {
+					if ov := SpectralOverlap(ch, rx); ov < 0 || ov > 1 {
+						t.Fatalf("SpectralOverlap(%d,%d) = %v out of [0,1]", ch, rx, ov)
+					}
+				}
+			}
+		}
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip changed bytes:\n in: %x\nout: %x", data, re)
+		}
+	})
+}
+
 // FuzzDecodeRadiotap checks the radiotap splitter never panics and never
 // returns a body that escapes the input buffer.
 func FuzzDecodeRadiotap(f *testing.F) {

@@ -82,6 +82,10 @@ type Stats struct {
 	CacheEvictions uint64
 	// Workers is the resolved snapshot worker-pool size.
 	Workers int
+	// ObsShards is the observation store's shard count.
+	ObsShards int
+	// ObsRecords is the observation store's pairwise record count.
+	ObsRecords int
 }
 
 // logWorkersOnce makes the resolved-worker startup log fire once per
@@ -151,13 +155,18 @@ func (e *Engine) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
 	e.Store().Ingest(timeSec, f, fromAP)
 }
 
-// IngestCaptures feeds a batch of sniffer captures and returns how many
-// were ingested.
+// IngestCaptures feeds a batch of sniffer captures through the store's
+// batched ingest path — grouped by shard, one lock acquisition per shard
+// per batch instead of one per frame — and returns how many were ingested.
 func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
-	store := e.Store()
-	for _, c := range caps {
-		store.Ingest(c.TimeSec, c.Frame, c.FromAP)
+	if len(caps) == 0 {
+		return 0
 	}
+	batch := make([]obs.FrameCapture, len(caps))
+	for i, c := range caps {
+		batch[i] = obs.FrameCapture{TimeSec: c.TimeSec, Frame: c.Frame, FromAP: c.FromAP}
+	}
+	e.Store().IngestFrames(batch)
 	mFramesIngested.Add(uint64(len(caps)))
 	return len(caps)
 }
@@ -167,7 +176,9 @@ func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 // (knowledge, Γ) only, so previously memoized Γ keys stay valid.
 func (e *Engine) ResetObservations() {
 	e.mu.Lock()
-	e.store = obs.NewStore()
+	// Keep the configured shard count: a reset changes the contents, not
+	// the store's concurrency shape.
+	e.store = obs.NewStoreShards(e.store.ShardCount())
 	e.mu.Unlock()
 }
 
@@ -351,13 +362,16 @@ func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
 	return out
 }
 
-// Stats reports fix and cache counters.
+// Stats reports fix and cache counters plus the store's shard shape.
 func (e *Engine) Stats() Stats {
+	store := e.Store()
 	return Stats{
 		Fixes:          e.fixes.Load(),
 		CacheHits:      e.hits.Load(),
 		CacheMisses:    e.misses.Load(),
 		CacheEvictions: e.evictions.Load(),
 		Workers:        e.workers,
+		ObsShards:      store.ShardCount(),
+		ObsRecords:     store.Len(),
 	}
 }

@@ -302,6 +302,15 @@ func TestResetObservations(t *testing.T) {
 	}
 }
 
+func TestResetObservationsKeepsShardCount(t *testing.T) {
+	k, _, _ := gridWorld(10, 1)
+	e := testEngine(t, Config{Know: k, Store: obs.NewStoreShards(8), WindowSec: 30})
+	e.ResetObservations()
+	if got := e.Store().ShardCount(); got != 8 {
+		t.Fatalf("shard count after reset = %d, want 8", got)
+	}
+}
+
 func TestGammaCacheEviction(t *testing.T) {
 	c := newGammaCache(4)
 	for i := 0; i < 4; i++ {

@@ -82,6 +82,7 @@ type State struct {
 	mu      sync.RWMutex
 	aps     []APMarker
 	devices map[string]DeviceMarker
+	stats   func() any
 }
 
 // NewState creates an empty map state.
@@ -162,6 +163,22 @@ func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11
 	mDevicesOnMap.Set(float64(len(devices)))
 }
 
+// SetStatsSource installs the provider behind /api/stats — typically a
+// closure over engine.Stats plus the observation store's shard shape, so
+// the map UI and scripts can read pipeline health without scraping
+// Prometheus text. The value must be JSON-serializable.
+func (s *State) SetStatsSource(src func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = src
+}
+
+func (s *State) statsSource() func() any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
 // RemoveDevice drops a device from the map.
 func (s *State) RemoveDevice(mac dot11.MAC) {
 	s.mu.Lock()
@@ -237,6 +254,20 @@ func NewHandler(state *State, opts HandlerOpts) http.Handler {
 			"devices": devices,
 		})
 		if err != nil {
+			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+		}
+	}))
+	mux.HandleFunc("/api/stats", instrument("/api/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var v any = map[string]any{}
+		if src := state.statsSource(); src != nil {
+			v = src()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
 			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
 		}
 	}))

@@ -72,6 +72,54 @@ func TestAPIMethodNotAllowed(t *testing.T) {
 	}
 }
 
+func TestAPIStats(t *testing.T) {
+	state := NewState()
+	srv := httptest.NewServer(Handler(state))
+	defer srv.Close()
+
+	// Without a source the endpoint serves an empty object, not an error.
+	res, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if strings.TrimSpace(string(body)) != "{}" {
+		t.Fatalf("empty-source body = %q, want {}", body)
+	}
+
+	state.SetStatsSource(func() any {
+		return map[string]any{"obsShards": 4, "obsRecords": 17}
+	})
+	res, err = http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var payload struct {
+		ObsShards  int `json:"obsShards"`
+		ObsRecords int `json:"obsRecords"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.ObsShards != 4 || payload.ObsRecords != 17 {
+		t.Fatalf("payload = %+v", payload)
+	}
+
+	post, err := http.Post(srv.URL+"/api/stats", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", post.StatusCode)
+	}
+}
+
 func TestIndexPage(t *testing.T) {
 	srv := httptest.NewServer(Handler(NewState()))
 	defer srv.Close()

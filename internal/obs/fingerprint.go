@@ -45,39 +45,32 @@ func (f Fingerprint) Jaccard(o Fingerprint) float64 {
 	return float64(inter) / float64(union)
 }
 
-// fingerprintStore tracks probed SSIDs per source MAC. Part of Store.
-type fingerprintStore struct {
-	probedSSIDs map[dot11.MAC]map[string]bool
-}
-
-func (s *Store) ensureFingerprints() {
-	if s.fp.probedSSIDs == nil {
-		s.fp.probedSSIDs = make(map[dot11.MAC]map[string]bool)
-	}
-}
-
-// recordProbeSSID notes a directed probe's SSID under the source MAC.
-// Caller holds the store lock.
-func (s *Store) recordProbeSSID(src dot11.MAC, ssid string) {
+// recordProbeSSIDLocked notes a directed probe's SSID under the source
+// MAC. Caller holds the shard write lock; the shard must be the source
+// device's, so a device's whole fingerprint lives in one shard.
+func (sh *shard) recordProbeSSIDLocked(src dot11.MAC, ssid string) {
 	if ssid == "" {
 		return // wildcard probe: no implicit identifier
 	}
-	s.ensureFingerprints()
-	if s.fp.probedSSIDs[src] == nil {
-		s.fp.probedSSIDs[src] = make(map[string]bool)
+	if sh.probedSSIDs == nil {
+		sh.probedSSIDs = make(map[dot11.MAC]map[string]bool)
 	}
-	s.fp.probedSSIDs[src][ssid] = true
+	if sh.probedSSIDs[src] == nil {
+		sh.probedSSIDs[src] = make(map[string]bool)
+	}
+	sh.probedSSIDs[src][ssid] = true
 }
 
 // FingerprintOf returns the implicit identifier accumulated for a MAC.
 func (s *Store) FingerprintOf(mac dot11.MAC) Fingerprint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := s.fp.probedSSIDs[mac]
+	sh := s.shardFor(mac)
+	sh.mu.RLock()
+	set := sh.probedSSIDs[mac]
 	ssids := make([]string, 0, len(set))
 	for ssid := range set {
 		ssids = append(ssids, ssid)
 	}
+	sh.mu.RUnlock()
 	sort.Strings(ssids)
 	return Fingerprint{SSIDs: ssids}
 }
@@ -95,12 +88,14 @@ type PseudonymLink struct {
 // strongest first — the attack that keeps the Marauder's map working when
 // devices randomize their MAC addresses.
 func (s *Store) LinkPseudonyms(threshold float64) []PseudonymLink {
-	s.mu.RLock()
-	macs := make([]dot11.MAC, 0, len(s.fp.probedSSIDs))
-	for m := range s.fp.probedSSIDs {
-		macs = append(macs, m)
+	var macs []dot11.MAC
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for m := range sh.probedSSIDs {
+			macs = append(macs, m)
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	sortMACs(macs)
 
 	var links []PseudonymLink

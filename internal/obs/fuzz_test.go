@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+// decodeFuzzRecords interprets arbitrary fuzz bytes as a record stream:
+// each record consumes 11 bytes — 8 for the float64 timestamp (any bit
+// pattern, so NaN/Inf/denormals all occur), one selecting the device,
+// one selecting the AP, one the record kind. The decoder never rejects
+// input; whatever the fuzzer produces becomes a well-formed []Record.
+func decodeFuzzRecords(data []byte) []Record {
+	const stride = 11
+	// Cap the stream so the cross-shard invariant sweep below stays fast
+	// even when the fuzzer inflates inputs to hundreds of kilobytes.
+	if len(data) > 8*1024 {
+		data = data[:8*1024]
+	}
+	recs := make([]Record, 0, len(data)/stride)
+	for len(data) >= stride {
+		t := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+		recs = append(recs, Record{
+			TimeSec: t,
+			Device:  dot11.MAC{0xDD, 0, 0, 0, 0, data[8]},
+			AP:      dot11.MAC{0xA0, 0, 0, 0, 0, data[9]},
+			Kind:    Kind(data[10] % 5),
+		})
+		data = data[stride:]
+	}
+	return recs
+}
+
+// FuzzIngest feeds arbitrary record streams — including NaN, ±Inf and
+// wildly out-of-order timestamps — into a single-shard and a 4-shard
+// store. Nothing may panic, every record must be retained (Len equals
+// the ingested count), and window queries must agree across shard
+// counts.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3})
+	// NaN timestamp, then two in-order records on the same device.
+	nan := make([]byte, 8)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add(append(append([]byte{}, append(nan, 5, 6, 1)...),
+		100, 0, 0, 0, 0, 0, 0x59, 0x40, 5, 7, 2, // t=100.0...ish bit pattern
+		0, 0, 0, 0, 0, 0, 0x24, 0x40, 5, 8, 1)) // t=10
+	inf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(inf, math.Float64bits(math.Inf(-1)))
+	f.Add(append(append([]byte{}, append(inf, 1, 1, 3)...), nan...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs := decodeFuzzRecords(data)
+		one := NewStoreShards(1)
+		four := NewStoreShards(4)
+		if got := one.IngestBatch(recs); got != len(recs) {
+			t.Fatalf("IngestBatch reported %d of %d", got, len(recs))
+		}
+		four.IngestBatch(recs)
+		if one.Len() != len(recs) || four.Len() != len(recs) {
+			t.Fatalf("Len: single=%d sharded=%d want %d", one.Len(), four.Len(), len(recs))
+		}
+		for _, dev := range one.Devices() {
+			a := one.APSetWindow(dev, 0, 1e12)
+			b := four.APSetWindow(dev, 0, 1e12)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("window for %v: %v != %v", dev, a, b)
+			}
+			if !reflect.DeepEqual(one.APSet(dev), four.APSet(dev)) {
+				t.Fatalf("APSet for %v differs", dev)
+			}
+		}
+		if !reflect.DeepEqual(one.APs(), four.APs()) {
+			t.Fatalf("APs: %v != %v", one.APs(), four.APs())
+		}
+	})
+}

@@ -1,12 +1,17 @@
 package obs
 
-import "repro/internal/telemetry"
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
 
 // Process-wide observation-store metrics. All stores in the process share
 // these series; they answer the operational questions the store itself
 // can't — is ingest keeping up, are captures arriving out of order (each
-// one forces a re-sort on the next window query), and what a window query
-// costs on the hot localization path.
+// one forces a re-sort on the next window query), how large the ingest
+// batches actually are, whether the MAC hash balances the shards, and
+// what a window query costs on the hot localization path.
 var (
 	mRecords = telemetry.Default().Counter(
 		"marauder_obs_records_total",
@@ -20,4 +25,22 @@ var (
 	mWindowSeconds = telemetry.Default().Histogram(
 		"marauder_obs_window_query_seconds",
 		"Latency of one Γ window query (AppendAPSetWindow).", telemetry.LatencyBuckets(), nil)
+	mBatchFrames = telemetry.Default().Histogram(
+		"marauder_obs_ingest_batch_size",
+		"Items per batched ingest call (IngestFrames / IngestBatch).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}, nil)
+	mIngestSeconds = telemetry.Default().Histogram(
+		"marauder_obs_ingest_batch_seconds",
+		"Wall time per batched ingest call, shard lock waits included.",
+		telemetry.LatencyBuckets(), nil)
 )
+
+// shardRecordGauge returns the per-shard record gauge. Like the engine
+// gauges, several stores in one process share a series per shard index
+// (last writer wins); per-store counts stay available via ShardLens.
+func shardRecordGauge(i int) *telemetry.Gauge {
+	return telemetry.Default().Gauge(
+		"marauder_obs_shard_records",
+		"Pairwise records held, by shard index.",
+		telemetry.Labels{"shard": strconv.Itoa(i)})
+}

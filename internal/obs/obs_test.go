@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -203,6 +204,137 @@ func TestAppendAPSetWindowReuseAndOrder(t *testing.T) {
 	got = s.AppendAPSetWindow(pre, dev, 11.5, 12.5)
 	if len(got) != 2 || got[0] != mac(0xFF) || got[1] != mac(0xB2) {
 		t.Fatalf("prefix append = %v", got)
+	}
+}
+
+// Regression: in the unsharded seed store, out-of-order detection used a
+// plain < comparison against the log tail. A NaN-timestamped record made
+// that comparison false forever after, so the log kept its sorted flag
+// while actually out of order, and the binary search silently dropped
+// every later out-of-order record from window results — the t=10 probe
+// below vanished from APSetWindow(0, 20) and even from the full APSet.
+func TestAPSetWindowNaNDoesNotDropLaterRecords(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s := NewStoreShards(shards)
+		dev := mac(1)
+		s.Ingest(50, dot11.NewProbeResponse(mac(0xA2), dev, "", 1, 1), true)
+		s.Ingest(math.NaN(), dot11.NewProbeResponse(mac(0xA9), dev, "", 6, 2), true)
+		s.Ingest(10, dot11.NewProbeResponse(mac(0xA1), dev, "", 11, 3), true)
+
+		if got := s.APSetWindow(dev, 0, 20); len(got) != 1 || got[0] != mac(0xA1) {
+			t.Errorf("shards=%d: window [0,20) = %v, want [%v]", shards, got, mac(0xA1))
+		}
+		// The NaN record matches no window; the two real ones must both
+		// survive in the full set.
+		if got := s.APSet(dev); len(got) != 2 {
+			t.Errorf("shards=%d: full set = %v, want the 2 finite-time APs", shards, got)
+		}
+		if s.Len() != 3 {
+			t.Errorf("shards=%d: Len = %d, want 3 (NaN record still stored)", shards, s.Len())
+		}
+	}
+}
+
+// An out-of-order record ingested between two window queries (i.e. after
+// the first query's re-sort) must appear in the second query's results.
+func TestAPSetWindowOutOfOrderAfterResort(t *testing.T) {
+	s := NewStoreShards(2)
+	dev := mac(1)
+	s.Ingest(50, dot11.NewProbeResponse(mac(0xA2), dev, "", 1, 1), true)
+	s.Ingest(10, dot11.NewProbeResponse(mac(0xA1), dev, "", 6, 2), true) // dirty the log
+	if got := s.APSetWindow(dev, 0, 100); len(got) != 2 {
+		t.Fatalf("first query = %v", got) // triggers the re-sort
+	}
+	s.Ingest(5, dot11.NewProbeResponse(mac(0xA0), dev, "", 11, 3), true) // out of order again
+	if got := s.APSetWindow(dev, 0, 8); len(got) != 1 || got[0] != mac(0xA0) {
+		t.Fatalf("post-resort out-of-order record dropped: window [0,8) = %v", got)
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	s := NewStoreShards(8)
+	if s.ShardCount() != 8 {
+		t.Fatalf("ShardCount = %d", s.ShardCount())
+	}
+	// 64 devices, one record each: per-shard counts must sum to Len and
+	// every device must stay queryable.
+	for i := 0; i < 64; i++ {
+		dev := dot11.MAC{0xDD, 0, 0, 0, byte(i >> 8), byte(i)}
+		s.Ingest(float64(i), dot11.NewProbeResponse(mac(0xA1), dev, "", 1, 1), true)
+	}
+	total := 0
+	for _, n := range s.ShardLens() {
+		total += n
+	}
+	if total != 64 || s.Len() != 64 {
+		t.Errorf("shard lens sum %d, Len %d, want 64", total, s.Len())
+	}
+	if got := len(s.Devices()); got != 64 {
+		t.Errorf("devices = %d, want 64", got)
+	}
+}
+
+func TestNewStoreShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewStoreShards(tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewStoreShards(%d).ShardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewStoreShards(0).ShardCount(); got != DefaultShardCount() {
+		t.Errorf("default shard count = %d, want %d", got, DefaultShardCount())
+	}
+}
+
+func TestIngestFramesBatch(t *testing.T) {
+	s := NewStoreShards(4)
+	batch := []FrameCapture{
+		{TimeSec: 1, Frame: dot11.NewProbeRequest(mac(1), "home", 1)},
+		{TimeSec: 2, Frame: dot11.NewProbeResponse(mac(0xA1), mac(1), "x", 6, 2), FromAP: true},
+		{TimeSec: 3, Frame: dot11.NewProbeResponse(mac(0xA2), mac(2), "y", 1, 3), FromAP: true},
+		{TimeSec: 4, Frame: dot11.NewBeacon(mac(0xA3), "b", 1, 0, 0), FromAP: true},
+		{TimeSec: 5, Frame: dot11.NewBeacon(mac(0xA4), "b", 1, 0, 0), FromAP: false}, // untrusted: no-op
+		{TimeSec: 6, Frame: nil},
+	}
+	if n := s.IngestFrames(batch); n != 4 {
+		t.Errorf("IngestFrames = %d frames applied, want 4", n)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 pairwise records", s.Len())
+	}
+	if got := len(s.Devices()); got != 2 {
+		t.Errorf("devices = %d, want 2", got)
+	}
+	if got := len(s.APs()); got != 3 {
+		t.Errorf("aps = %d, want 3 (A1, A2, beacon A3)", got)
+	}
+	if fp := s.FingerprintOf(mac(1)); len(fp.SSIDs) != 1 || fp.SSIDs[0] != "home" {
+		t.Errorf("fingerprint = %v", fp)
+	}
+}
+
+func TestIngestBatchRecords(t *testing.T) {
+	s := NewStoreShards(4)
+	recs := []Record{
+		{TimeSec: 5, Device: mac(1), AP: mac(0xA1), Kind: KindProbeResponse},
+		{TimeSec: 3, Device: mac(2), AP: mac(0xA2), Kind: KindAssociation},
+		{TimeSec: 4, Device: mac(1), AP: mac(0xA3), Kind: KindProbeResponse}, // out of order for dev 1
+	}
+	if n := s.IngestBatch(recs); n != 3 {
+		t.Errorf("IngestBatch = %d, want 3", n)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if got := s.APSetWindow(mac(1), 0, 4.5); len(got) != 1 || got[0] != mac(0xA3) {
+		t.Errorf("window = %v, want the out-of-order record visible", got)
+	}
+	if got := len(s.Devices()); got != 2 {
+		t.Errorf("devices = %d, want 2 (records mark devices seen)", got)
+	}
+	if got := len(s.APs()); got != 3 {
+		t.Errorf("aps = %d, want 3 (records register APs)", got)
 	}
 }
 

@@ -28,33 +28,58 @@ type fingerprintEntryJS struct {
 	SSIDs []string  `json:"ssids"`
 }
 
-// Save serializes the store as JSON, so an attack session (or a long
-// capture) can be persisted and resumed.
-func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
-	snap := snapshot{Records: append([]Record(nil), s.records...)}
-	for m, t := range s.seen {
-		snap.Seen = append(snap.Seen, seenEntry{MAC: m, First: t})
+// lessRecord is the canonical serialization order: time (NaN first), then
+// device, AP and kind. Sorting makes Save deterministic and independent of
+// the store's shard count and ingest interleaving.
+func lessRecord(a, b Record) bool {
+	if a.TimeSec != b.TimeSec && (timeLess(a.TimeSec, b.TimeSec) || timeLess(b.TimeSec, a.TimeSec)) {
+		return timeLess(a.TimeSec, b.TimeSec)
 	}
-	for m := range s.probing {
-		snap.Probing = append(snap.Probing, m)
+	if a.Device != b.Device {
+		return lessMAC(a.Device, b.Device)
 	}
-	for m := range s.aps {
-		snap.APs = append(snap.APs, m)
+	if a.AP != b.AP {
+		return lessMAC(a.AP, b.AP)
 	}
-	for m, set := range s.fp.probedSSIDs {
-		e := fingerprintEntryJS{MAC: m}
-		for ssid := range set {
-			e.SSIDs = append(e.SSIDs, ssid)
-		}
-		sort.Strings(e.SSIDs)
-		snap.SSIDs = append(snap.SSIDs, e)
-	}
-	s.mu.RUnlock()
+	return a.Kind < b.Kind
+}
 
+// Save serializes the store as JSON, so an attack session (or a long
+// capture) can be persisted and resumed. The output is deterministic:
+// identical observation content produces identical bytes regardless of
+// shard count or ingest order.
+func (s *Store) Save(w io.Writer) error {
+	var snap snapshot
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, dl := range sh.byDev {
+			snap.Records = append(snap.Records, dl.recs...)
+		}
+		for m, t := range sh.seen {
+			snap.Seen = append(snap.Seen, seenEntry{MAC: m, First: t})
+		}
+		for m := range sh.probing {
+			snap.Probing = append(snap.Probing, m)
+		}
+		for m := range sh.aps {
+			snap.APs = append(snap.APs, m)
+		}
+		for m, set := range sh.probedSSIDs {
+			e := fingerprintEntryJS{MAC: m}
+			for ssid := range set {
+				e.SSIDs = append(e.SSIDs, ssid)
+			}
+			sort.Strings(e.SSIDs)
+			snap.SSIDs = append(snap.SSIDs, e)
+		}
+		sh.mu.RUnlock()
+	}
+
+	sort.SliceStable(snap.Records, func(i, j int) bool { return lessRecord(snap.Records[i], snap.Records[j]) })
 	sort.Slice(snap.Seen, func(i, j int) bool { return lessMAC(snap.Seen[i].MAC, snap.Seen[j].MAC) })
 	sortMACs(snap.Probing)
-	sortMACs(snap.APs)
+	// APs can be registered in several shards; dedup before sorting.
+	snap.APs = dedupMACs(snap.APs)
 	sort.Slice(snap.SSIDs, func(i, j int) bool { return lessMAC(snap.SSIDs[i].MAC, snap.SSIDs[j].MAC) })
 
 	enc := json.NewEncoder(w)
@@ -64,6 +89,18 @@ func (s *Store) Save(w io.Writer) error {
 	return nil
 }
 
+func dedupMACs(ms []dot11.MAC) []dot11.MAC {
+	sortMACs(ms)
+	uniq := 0
+	for i, m := range ms {
+		if i == 0 || m != ms[uniq-1] {
+			ms[uniq] = m
+			uniq++
+		}
+	}
+	return ms[:uniq]
+}
+
 // Load deserializes a store previously written by Save.
 func Load(r io.Reader) (*Store, error) {
 	var snap snapshot
@@ -71,27 +108,32 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("obs: load: %w", err)
 	}
 	s := NewStore()
+	// Rebuild the per-device window indexes shard by shard, without the
+	// seen/AP side effects of live ingest: the snapshot's own sets are
+	// authoritative and applied below.
 	for _, rec := range snap.Records {
-		s.addRecord(rec) // rebuilds the per-device window index too
+		sh := s.shardFor(rec.Device)
+		sh.addRecordLocked(rec)
 	}
 	for _, e := range snap.Seen {
-		s.seen[e.MAC] = e.First
+		s.shardFor(e.MAC).seen[e.MAC] = e.First
 	}
 	for _, m := range snap.Probing {
-		s.probing[m] = true
+		s.shardFor(m).probing[m] = true
 	}
 	for _, m := range snap.APs {
-		s.aps[m] = true
+		s.shardFor(m).aps[m] = true
 	}
-	if len(snap.SSIDs) > 0 {
-		s.ensureFingerprints()
-		for _, e := range snap.SSIDs {
-			set := make(map[string]bool, len(e.SSIDs))
-			for _, ssid := range e.SSIDs {
-				set[ssid] = true
-			}
-			s.fp.probedSSIDs[e.MAC] = set
+	for _, e := range snap.SSIDs {
+		sh := s.shardFor(e.MAC)
+		set := make(map[string]bool, len(e.SSIDs))
+		for _, ssid := range e.SSIDs {
+			set[ssid] = true
 		}
+		if sh.probedSSIDs == nil {
+			sh.probedSSIDs = make(map[dot11.MAC]map[string]bool)
+		}
+		sh.probedSSIDs[e.MAC] = set
 	}
 	return s, nil
 }

@@ -131,13 +131,21 @@ func (s *Sniffer) TryCapture(ev sim.TxEvent) (Capture, bool) {
 
 // CaptureAll filters an event stream to the frames this sniffer decodes.
 func (s *Sniffer) CaptureAll(events []sim.TxEvent) []Capture {
-	out := make([]Capture, 0, len(events))
+	return s.CaptureAllInto(make([]Capture, 0, len(events)), events)
+}
+
+// CaptureAllInto appends the decoded frames to dst and returns the
+// extended slice — the allocation-friendly form for delivery loops that
+// accumulate a capture batch across scan bursts and hand it to a batched
+// ingest path (engine.IngestCaptures) in one call instead of paying a
+// store lock round-trip per frame.
+func (s *Sniffer) CaptureAllInto(dst []Capture, events []sim.TxEvent) []Capture {
 	for _, ev := range events {
 		if c, ok := s.TryCapture(ev); ok {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
 }
 
 // CoverageRadius returns the maximum distance at which the sniffer decodes

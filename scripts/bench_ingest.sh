@@ -1,0 +1,43 @@
+#!/bin/sh
+# Compare the seed single-lock ingest path against the sharded store on
+# the ingest benchmarks, at 1 and 4 CPUs. Both variants live in the same
+# benchmark binary as sub-cases (seed vs sharded-*), so one run produces
+# both sides; the sub-case names are then normalized so benchstat lines
+# them up as old/new columns.
+#
+# Usage: sh scripts/bench_ingest.sh [count]
+set -eu
+
+count="${1:-5}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+go test -run '^$' -bench 'BenchmarkIngestParallel|BenchmarkSnapshotWhileIngest' \
+	-cpu 1,4 -count "$count" -benchtime 0.5s . | tee "$out/raw.txt"
+
+# Split: the seed sub-cases become the "old" file, the batched sharded
+# sub-cases the "new" file, with the variant segment dropped from the
+# names so benchstat pairs them.
+grep -E '^Benchmark[A-Za-z]+/seed(-[0-9]+)?\b' "$out/raw.txt" |
+	sed 's|/seed||' >"$out/seed.txt"
+grep -E '^Benchmark[A-Za-z]+/sharded-batched(-[0-9]+)?\b' "$out/raw.txt" |
+	sed 's|/sharded-batched||' >"$out/sharded.txt"
+
+if [ ! -s "$out/seed.txt" ] || [ ! -s "$out/sharded.txt" ]; then
+	echo "bench_ingest: no benchmark lines captured" >&2
+	exit 1
+fi
+
+echo
+echo "== seed (single lock, per frame) vs sharded+batched =="
+if command -v benchstat >/dev/null 2>&1; then
+	benchstat "$out/seed.txt" "$out/sharded.txt"
+elif go run golang.org/x/perf/cmd/benchstat@latest "$out/seed.txt" "$out/sharded.txt" 2>/dev/null; then
+	: # benchstat fetched and run by the go tool (CI path)
+else
+	echo "benchstat unavailable; raw numbers:"
+	echo "-- seed --"
+	cat "$out/seed.txt"
+	echo "-- sharded+batched --"
+	cat "$out/sharded.txt"
+fi
