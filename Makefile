@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke fuzz-smoke bench-ingest
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke fuzz-smoke bench-ingest
 
 all: check
 
@@ -52,5 +52,12 @@ fmt:
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
 
+# End-to-end explainability gate: boot cmd/marauder with -trace, pull a
+# device off /api/state, and assert /api/explain serves its provenance
+# (algorithm, Γ, k, intersected area vs Theorem 2, cache hit, stage
+# durations) and the /api/* method/caching contract holds.
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke
+check: vet build test race metrics-smoke trace-smoke

@@ -8,6 +8,7 @@
 //	marauder [-addr :8642] [-algo mloc|aprad|aploc|centroid|closest]
 //	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-shards 0] [-once]
 //	         [-metrics-addr :9642] [-pprof] [-log-level info] [-log-format text]
+//	         [-trace] [-trace-sample 1] [-trace-buffer 256]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
@@ -17,7 +18,10 @@
 // The map port always serves /metrics (Prometheus text format) and
 // /debug/vars (JSON); -metrics-addr serves the same telemetry on a
 // separate port and -pprof additionally mounts net/http/pprof under
-// /debug/pprof/ on both.
+// /debug/pprof/ on both. -trace samples localizations into per-estimate
+// traces and provenance records (-trace-sample sets the sampled fraction,
+// -trace-buffer the retained ring), served at /api/trace and
+// /api/explain?device=MAC on the map port.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/wardrive"
 )
 
@@ -127,10 +132,14 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 }
 
 func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
-	return buildAttackWorkers(seed, nAPs, algo, 0, 0)
+	return buildAttackTraced(seed, nAPs, algo, 0, 0, nil)
 }
 
 func buildAttackWorkers(seed int64, nAPs int, algo string, workers, shards int) (*attack, error) {
+	return buildAttackTraced(seed, nAPs, algo, workers, shards, nil)
+}
+
+func buildAttackTraced(seed int64, nAPs int, algo string, workers, shards int, tracer *trace.Tracer) (*attack, error) {
 	w := sim.NewWorld(seed)
 	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
 		N:        nAPs,
@@ -180,6 +189,7 @@ func buildAttackWorkers(seed int64, nAPs int, algo string, workers, shards int) 
 		Localizer: locate,
 		WindowSec: 45,
 		Workers:   workers,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -230,11 +240,24 @@ func run(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
+	traceOn := fs.Bool("trace", false, "sample localizations into per-estimate traces and provenance records")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of localizations traced, in (0, 1] (resolves to every-Nth sampling)")
+	traceBuffer := fs.Int("trace-buffer", 256, "finished-trace ring buffer capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
+	}
+	var tracer *trace.Tracer
+	if *traceOn {
+		var err error
+		tracer, err = trace.New(trace.Config{Sample: *traceSample, Buffer: *traceBuffer})
+		if err != nil {
+			return err
+		}
+		slog.Info("estimate tracing on", "component", "marauder",
+			"sample_every", tracer.SampleEvery(), "buffer", *traceBuffer)
 	}
 
 	if *metricsAddr != "" {
@@ -248,7 +271,7 @@ func run(args []string) error {
 		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
-	a, err := buildAttackWorkers(*seed, *nAPs, *algo, *workers, *shards)
+	a, err := buildAttackTraced(*seed, *nAPs, *algo, *workers, *shards, tracer)
 	if err != nil {
 		return err
 	}
@@ -285,12 +308,17 @@ func runOnce(a *attack, algo string) error {
 	stats := a.eng.Stats()
 	fmt.Printf("fixes=%d average error=%.2fm algorithm=%s cache=%d/%d hits\n",
 		len(points), sum/float64(len(points)), algo, stats.CacheHits, stats.Fixes)
+	if p, ok := a.eng.Tracer().Explain(a.victim.MAC.String()); ok {
+		fmt.Printf("last fix explained: trace=%s k=%d area=%.1fm² theorem2=%.1fm² cacheHit=%v stages=%v\n",
+			p.TraceID, p.K, p.IntersectedAreaM2, p.Theorem2AreaM2, p.CacheHit, p.StagesMs)
+	}
 	return nil
 }
 
 func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	state := mapserver.NewState()
 	state.APsFromKnowledge(a.know)
+	state.SetTracer(a.eng.Tracer())
 	state.SetStatsSource(func() any {
 		st := a.eng.Stats()
 		return map[string]any{
@@ -298,6 +326,7 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			"engine":     st,
 			"shardLens":  a.eng.Store().ShardLens(),
 			"obsDevices": len(a.eng.Store().Devices()),
+			"trace":      a.eng.Tracer().Stats(),
 		}
 	})
 

@@ -8,9 +8,13 @@
 //
 //	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid|closest|aprad]
 //	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json] [-shards 0]
+//	       [-trace] [-trace-sample 1] [-trace-buffer 256]
 //
 // With -demo it first generates a demo capture+database pair into the
-// given paths, then replays them (useful without prior artifacts).
+// given paths, then replays them (useful without prior artifacts). With
+// -trace every sampled localization carries a trace and provenance
+// record, and each located device's estimate is explained after the map
+// is printed.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 var captureEpoch = time.Date(2008, 10, 24, 0, 0, 0, 0, time.UTC)
@@ -61,11 +66,24 @@ func run(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
+	traceOn := fs.Bool("trace", false, "sample localizations into per-estimate traces and provenance records")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of localizations traced, in (0, 1] (resolves to every-Nth sampling)")
+	traceBuffer := fs.Int("trace-buffer", 256, "finished-trace ring buffer capacity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
+	}
+	var tracer *trace.Tracer
+	if *traceOn {
+		var err error
+		tracer, err = trace.New(trace.Config{Sample: *traceSample, Buffer: *traceBuffer})
+		if err != nil {
+			return err
+		}
+		slog.Info("estimate tracing on", "component", "replay",
+			"sample_every", tracer.SampleEvery(), "buffer", *traceBuffer)
 	}
 	if *pcapPath == "" || *apsPath == "" {
 		return fmt.Errorf("both -pcap and -aps are required")
@@ -145,6 +163,7 @@ func run(args []string) error {
 		Store:     obs.NewStoreShards(*shards),
 		Localizer: locate,
 		WindowSec: 60, // SnapshotRange below spans the whole capture
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -187,6 +206,22 @@ func run(args []string) error {
 		located++
 	}
 	fmt.Printf("located %d devices\n", located)
+
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Printf("tracing: %d finished traces (1 in %d), %d buffered, %d devices explained\n",
+			st.Finished, st.SampleEvery, st.Buffered, st.Devices)
+		for _, dev := range devs {
+			p, ok := tracer.Explain(dev.String())
+			if !ok {
+				continue
+			}
+			fmt.Printf("explain %s: trace=%s algo=%s k=%d cacheHit=%v area=%.1fm² theorem2=%.1fm² stages=%v\n",
+				p.Device, p.TraceID, p.Algorithm, p.K, p.CacheHit,
+				p.IntersectedAreaM2, p.Theorem2AreaM2, p.StagesMs)
+			break // one worked example is enough for the console
+		}
+	}
 
 	if *obsOut != "" {
 		f, err := os.Create(*obsOut)

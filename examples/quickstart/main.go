@@ -14,6 +14,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -40,8 +41,14 @@ func main() {
 	})
 
 	// The engine runs the whole pipeline: ingest captured frames, maintain
-	// per-device AP sets Γ, localize on demand (M-Loc by default).
-	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60})
+	// per-device AP sets Γ, localize on demand (M-Loc by default). The
+	// tracer records a provenance record per fix so every estimate can be
+	// explained after the fact.
+	tracer, err := trace.New(trace.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -63,6 +70,14 @@ func main() {
 		est.Pos, est.K, len(est.Vertices))
 	gamma := eng.Store().APSet(victim)
 	fmt.Printf("intersected area: %.1f m²\n", core.RegionArea(know, gamma))
+
+	// The provenance record explains the fix: which Γ produced it, the
+	// observed intersected area next to Theorem 2's prediction, and where
+	// the time went per pipeline stage.
+	if p, ok := tracer.Explain(victim.String()); ok {
+		fmt.Printf("provenance: trace=%s algo=%s k=%d area=%.1f m² (theorem 2 expects %.1f m²) cacheHit=%v\n",
+			p.TraceID, p.Algorithm, p.K, p.IntersectedAreaM2, p.Theorem2AreaM2, p.CacheHit)
+	}
 
 	// Compare with the Centroid baseline the paper evaluates against —
 	// same pipeline, different Localizer.

@@ -45,6 +45,9 @@ func (c APRadConfig) withDefaults() (APRadConfig, error) {
 type APRadDiagnostics struct {
 	// Constraints is the number of pairwise constraints in the program.
 	Constraints int
+	// LPIterations is the simplex pivot count the solve took (phase 1 and
+	// phase 2 combined) — the cost side of the training provenance.
+	LPIterations int
 	// LowerBoundViolations counts co-observed pairs whose rᵢ + rⱼ ≥ dᵢⱼ
 	// constraint the maximized solution violates — evidence of inconsistent
 	// observations (e.g. a device heard two APs that the never-co-observed
@@ -178,7 +181,8 @@ func EstimateRadii(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 	}
 	diag.Constraints = len(prob.Constraints)
 
-	x, obj, err := lp.Solve(prob)
+	x, obj, lpStats, err := lp.SolveStats(prob)
+	diag.LPIterations = lpStats.Pivots()
 	if err != nil {
 		return nil, diag, fmt.Errorf("ap-rad lp: %w", err)
 	}

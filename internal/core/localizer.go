@@ -31,6 +31,30 @@ type KnowledgeTrainer interface {
 	Train(base Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, error)
 }
 
+// TrainDiag is the provenance of one Train run — the shape and cost of
+// the radius-estimation LP — surfaced so the engine can attribute every
+// estimate to the exact training run that produced its knowledge.
+type TrainDiag struct {
+	// Constraints is the LP's pairwise-constraint count.
+	Constraints int
+	// LPIterations is the simplex pivot count of the solve.
+	LPIterations int
+	// LowerBoundViolations counts co-observation constraints the optimum
+	// violated (repaired upward — Theorem 3's safe direction).
+	LowerBoundViolations int
+	// Objective is Σ rᵢ at the optimum.
+	Objective float64
+}
+
+// DiagnosedTrainer is a KnowledgeTrainer that also reports how training
+// went. The engine prefers it over plain Train when recording estimate
+// provenance.
+type DiagnosedTrainer interface {
+	KnowledgeTrainer
+	// TrainDiagnosed is Train with the run's diagnostics alongside.
+	TrainDiagnosed(base Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, TrainDiag, error)
+}
+
 // LocalizerFunc adapts a bare Locator func to the Localizer interface.
 type LocalizerFunc struct {
 	// Method is the reported Name.
@@ -111,8 +135,14 @@ func (l APRadLocalizer) Locate(k Knowledge, gamma []dot11.MAC) (Estimate, error)
 
 // Train implements KnowledgeTrainer.
 func (l APRadLocalizer) Train(base Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, error) {
-	trained, _, err := EstimateRadii(base, deviceSets, l.Cfg)
+	trained, _, err := l.TrainDiagnosed(base, deviceSets)
 	return trained, err
+}
+
+// TrainDiagnosed implements DiagnosedTrainer.
+func (l APRadLocalizer) TrainDiagnosed(base Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, TrainDiag, error) {
+	trained, diag, err := EstimateRadii(base, deviceSets, l.Cfg)
+	return trained, trainDiagFromAPRad(diag), err
 }
 
 // APLocLocalizer is the paper's AP-Loc algorithm: nothing is known, so
@@ -146,16 +176,34 @@ func (l *APLocLocalizer) Locate(k Knowledge, gamma []dot11.MAC) (Estimate, error
 
 // Train implements KnowledgeTrainer. The base argument is ignored: AP-Loc
 // assumes no external knowledge.
-func (l *APLocLocalizer) Train(_ Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, error) {
+func (l *APLocLocalizer) Train(base Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, error) {
+	trained, _, err := l.TrainDiagnosed(base, deviceSets)
+	return trained, err
+}
+
+// TrainDiagnosed implements DiagnosedTrainer. Position training is
+// memoized on the receiver; the diagnostics describe the radius LP.
+func (l *APLocLocalizer) TrainDiagnosed(_ Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, TrainDiag, error) {
 	if l.Trained == nil {
 		trained, err := EstimateAPLocations(l.Tuples, l.Cfg)
 		if err != nil {
-			return nil, fmt.Errorf("ap-loc training: %w", err)
+			return nil, TrainDiag{}, fmt.Errorf("ap-loc training: %w", err)
 		}
 		l.Trained = trained
 	}
-	trained, _, err := EstimateRadii(l.Trained, deviceSets, l.Cfg.Rad)
-	return trained, err
+	trained, diag, err := EstimateRadii(l.Trained, deviceSets, l.Cfg.Rad)
+	return trained, trainDiagFromAPRad(diag), err
+}
+
+// trainDiagFromAPRad lifts the AP-Rad LP diagnostics into the shared
+// training-provenance shape.
+func trainDiagFromAPRad(d APRadDiagnostics) TrainDiag {
+	return TrainDiag{
+		Constraints:          d.Constraints,
+		LPIterations:         d.LPIterations,
+		LowerBoundViolations: d.LowerBoundViolations,
+		Objective:            d.Objective,
+	}
 }
 
 func maxInflate(v float64) float64 {

@@ -169,3 +169,39 @@ func absf(x float64) float64 {
 	}
 	return x
 }
+
+func TestAPRadTrainDiagnosed(t *testing.T) {
+	base := Knowledge{
+		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
+		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
+	}
+	sets := map[dot11.MAC][]dot11.MAC{
+		mac(1): {mac(0xA1), mac(0xA2)},
+	}
+	loc := APRadLocalizer{Cfg: APRadConfig{MaxRadius: 150}}
+	trained, diag, err := loc.TrainDiagnosed(base, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trained) != 2 {
+		t.Fatalf("trained %d APs, want 2", len(trained))
+	}
+	if diag.Constraints < 1 {
+		t.Errorf("diag.Constraints = %d, want the co-observation constraint counted", diag.Constraints)
+	}
+	if diag.LPIterations < 1 {
+		t.Errorf("diag.LPIterations = %d, want the simplex pivots counted", diag.LPIterations)
+	}
+	if diag.Objective <= 0 {
+		t.Errorf("diag.Objective = %v, want the positive radii sum", diag.Objective)
+	}
+	// Train (the plain KnowledgeTrainer face) must agree with the
+	// diagnosed run.
+	plain, err := loc.Train(base, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, trained) {
+		t.Error("Train and TrainDiagnosed disagree")
+	}
+}

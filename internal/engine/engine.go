@@ -25,6 +25,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/obs"
 	"repro/internal/sniffer"
+	"repro/internal/telemetry/trace"
 )
 
 // Config assembles an Engine.
@@ -46,6 +47,9 @@ type Config struct {
 	// CacheSize caps the Γ-memoization cache entry count. 0 means the
 	// default (4096); negative disables caching.
 	CacheSize int
+	// Tracer samples localizations into per-estimate traces and
+	// provenance records. nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Engine runs the concurrent ingest→observe→localize pipeline. It is safe
@@ -60,12 +64,19 @@ type Engine struct {
 	base  core.Knowledge // immutable training base
 	know  core.Knowledge // active working knowledge
 
-	cache *gammaCache
+	cache  *gammaCache
+	tracer *trace.Tracer
 
 	fixes     atomic.Uint64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// knowGen counts knowledge-base swaps; every estimate's provenance
+	// carries the generation it was computed against.
+	knowGen atomic.Uint64
+	// lastTrain is the provenance of the latest RefreshKnowledge run.
+	lastTrain atomic.Pointer[trace.TrainingInfo]
 }
 
 // Stats counts engine work since construction.
@@ -86,6 +97,9 @@ type Stats struct {
 	ObsShards int
 	// ObsRecords is the observation store's pairwise record count.
 	ObsRecords int
+	// KnowledgeGen counts knowledge-base swaps since construction — the
+	// generation the provenance of new estimates references.
+	KnowledgeGen uint64
 }
 
 // logWorkersOnce makes the resolved-worker startup log fire once per
@@ -126,6 +140,7 @@ func New(cfg Config) (*Engine, error) {
 		store:     store,
 		base:      cfg.Know,
 		know:      cfg.Know,
+		tracer:    cfg.Tracer,
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -139,6 +154,14 @@ func New(cfg Config) (*Engine, error) {
 
 // Localizer returns the engine's algorithm.
 func (e *Engine) Localizer() core.Localizer { return e.loc }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled), so
+// front-ends can serve its ring dump and per-device explanations.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// LastTraining returns the provenance of the most recent RefreshKnowledge
+// run, or nil before the first one (and for untrained algorithms).
+func (e *Engine) LastTraining() *trace.TrainingInfo { return e.lastTrain.Load() }
 
 // Store returns the observation store the engine ingests into. The store
 // is safe for concurrent use, so callers may also feed or query it
@@ -162,11 +185,18 @@ func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 	if len(caps) == 0 {
 		return 0
 	}
+	var tr *trace.Trace
+	if e.tracer != nil {
+		tr = e.tracer.Start(trace.KindIngest, "")
+	}
+	sp := tr.StartSpan("ingest").Attr("frames", len(caps))
 	batch := make([]obs.FrameCapture, len(caps))
 	for i, c := range caps {
 		batch[i] = obs.FrameCapture{TimeSec: c.TimeSec, Frame: c.Frame, FromAP: c.FromAP}
 	}
 	e.Store().IngestFrames(batch)
+	sp.End()
+	tr.Finish(nil)
 	mFramesIngested.Add(uint64(len(caps)))
 	return len(caps)
 }
@@ -195,6 +225,7 @@ func (e *Engine) SetKnowledge(k core.Knowledge) {
 	e.mu.Lock()
 	e.know = k
 	e.mu.Unlock()
+	e.knowGen.Add(1)
 	if e.cache != nil {
 		if dropped := e.cache.invalidate(); dropped > 0 {
 			e.evictions.Add(uint64(dropped))
@@ -212,16 +243,52 @@ func (e *Engine) RefreshKnowledge() error {
 	if !ok {
 		return nil
 	}
+	var tr *trace.Trace
+	if e.tracer != nil {
+		tr = e.tracer.Start(trace.KindRefresh, "")
+	}
 	start := time.Now()
 	e.mu.RLock()
 	base := e.base
 	store := e.store
 	e.mu.RUnlock()
-	trained, err := trainer.Train(base, store.DeviceAPSets())
+	sp := tr.StartSpan("knowledge")
+	var (
+		trained   core.Knowledge
+		diag      core.TrainDiag
+		diagnosed bool
+		err       error
+	)
+	if dt, ok := trainer.(core.DiagnosedTrainer); ok {
+		trained, diag, err = dt.TrainDiagnosed(base, store.DeviceAPSets())
+		diagnosed = true
+	} else {
+		trained, err = trainer.Train(base, store.DeviceAPSets())
+	}
 	if err != nil {
+		sp.Attr("err", err.Error())
+		sp.End()
+		tr.Finish(nil)
 		return fmt.Errorf("engine: refresh knowledge: %w", err)
 	}
 	e.SetKnowledge(trained)
+	info := &trace.TrainingInfo{
+		Algorithm:  e.loc.Name(),
+		Gen:        e.knowGen.Load(),
+		DurationMs: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if diagnosed {
+		info.Constraints = diag.Constraints
+		info.LPIterations = diag.LPIterations
+		info.LowerBoundViolations = diag.LowerBoundViolations
+		info.Objective = diag.Objective
+	}
+	e.lastTrain.Store(info)
+	sp.Attr("gen", info.Gen).
+		Attr("constraints", info.Constraints).
+		Attr("lp_iterations", info.LPIterations)
+	sp.End()
+	tr.Finish(nil)
 	mRefreshes.Inc()
 	mRefreshSeconds.ObserveSince(start)
 	return nil
@@ -229,26 +296,35 @@ func (e *Engine) RefreshKnowledge() error {
 
 // locateGamma answers one localization request, through the Γ cache when
 // enabled. gamma must be in APSetWindow's canonical (ascending, deduped)
-// order; the cache key is its byte concatenation.
-func (e *Engine) locateGamma(gamma []dot11.MAC) (core.Estimate, error) {
+// order; the cache key is its byte concatenation. It returns the knowledge
+// the estimate was computed against (so traced callers attribute the
+// provenance to the right base) and whether the cache answered. tr may be
+// nil (untraced).
+func (e *Engine) locateGamma(gamma []dot11.MAC, tr *trace.Trace) (core.Estimate, core.Knowledge, bool, error) {
 	e.fixes.Add(1)
 	mFixes.Inc()
 	if len(gamma) == 0 {
-		return core.Estimate{}, core.ErrNoAPs
+		return core.Estimate{}, nil, false, core.ErrNoAPs
 	}
 	e.mu.RLock()
 	know := e.know
 	e.mu.RUnlock()
+	sp := tr.StartSpan("localize")
 	if e.cache == nil {
 		e.misses.Add(1)
 		mCacheMisses.Inc()
-		return e.loc.Locate(know, gamma)
+		est, err := e.loc.Locate(know, gamma)
+		sp.Attr("cache_hit", false)
+		sp.End()
+		return est, know, false, err
 	}
 	key := gammaKey(gamma)
 	if est, err, ok := e.cache.get(key); ok {
 		e.hits.Add(1)
 		mCacheHits.Inc()
-		return est, err
+		sp.Attr("cache_hit", true)
+		sp.End()
+		return est, know, true, err
 	}
 	e.misses.Add(1)
 	mCacheMisses.Inc()
@@ -257,7 +333,31 @@ func (e *Engine) locateGamma(gamma []dot11.MAC) (core.Estimate, error) {
 		e.evictions.Add(uint64(evicted))
 		mCacheEvictions.Add(uint64(evicted))
 	}
-	return est, err
+	sp.Attr("cache_hit", false)
+	sp.End()
+	return est, know, false, err
+}
+
+// fixWindow answers one localization over [start, end): the traced
+// window-query → localize → provenance chain shared by Fix, FixRange,
+// Track and the snapshot workers. buf is the reusable Γ buffer (pass
+// buf[:0] in loops); the possibly-grown buffer is returned for reuse.
+// With tracing disabled the only cost over the raw path is one nil check.
+func (e *Engine) fixWindow(buf []dot11.MAC, dev dot11.MAC, start, end float64) ([]dot11.MAC, core.Estimate, error) {
+	var tr *trace.Trace
+	if e.tracer != nil {
+		tr = e.tracer.Start(trace.KindFix, dev.String())
+	}
+	if tr != nil {
+		sp := tr.StartSpan("window-query")
+		buf = e.Store().AppendAPSetWindowTrace(buf, dev, start, end, sp)
+		sp.End()
+	} else {
+		buf = e.Store().AppendAPSetWindow(buf, dev, start, end)
+	}
+	est, know, hit, err := e.locateGamma(buf, tr)
+	e.finishFix(tr, dev, buf, know, est, err, hit, start, end)
+	return buf, est, err
 }
 
 // Fix estimates the device's position from the observations in the window
@@ -269,8 +369,8 @@ func (e *Engine) Fix(dev dot11.MAC, timeSec float64) (core.Estimate, error) {
 // FixRange estimates the device's position from the observations with
 // start ≤ t < end.
 func (e *Engine) FixRange(dev dot11.MAC, start, end float64) (core.Estimate, error) {
-	gamma := e.Store().AppendAPSetWindow(nil, dev, start, end)
-	return e.locateGamma(gamma)
+	_, est, err := e.fixWindow(nil, dev, start, end)
+	return est, err
 }
 
 // Track produces fixes for the device every stepSec over [startSec,
@@ -281,7 +381,6 @@ func (e *Engine) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]core
 	if stepSec <= 0 {
 		return nil, fmt.Errorf("engine: Track needs stepSec > 0")
 	}
-	store := e.Store()
 	var out []core.TrackPoint
 	var buf []dot11.MAC
 	for i := 0; ; i++ {
@@ -289,8 +388,9 @@ func (e *Engine) Track(dev dot11.MAC, startSec, endSec, stepSec float64) ([]core
 		if ts > endSec {
 			break
 		}
-		buf = store.AppendAPSetWindow(buf[:0], dev, ts-e.windowSec/2, ts+e.windowSec/2)
-		est, err := e.locateGamma(buf)
+		var est core.Estimate
+		var err error
+		buf, est, err = e.fixWindow(buf[:0], dev, ts-e.windowSec/2, ts+e.windowSec/2)
 		if err != nil {
 			continue
 		}
@@ -325,8 +425,10 @@ func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
 	if workers <= 1 {
 		var buf []dot11.MAC
 		for _, dev := range devs {
-			buf = store.AppendAPSetWindow(buf[:0], dev, start, end)
-			if est, err := e.locateGamma(buf); err == nil {
+			var est core.Estimate
+			var err error
+			buf, est, err = e.fixWindow(buf[:0], dev, start, end)
+			if err == nil {
 				out[dev] = est
 			}
 		}
@@ -343,8 +445,9 @@ func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
 			defer wg.Done()
 			var buf []dot11.MAC
 			for dev := range work {
-				buf = store.AppendAPSetWindow(buf[:0], dev, start, end)
-				est, err := e.locateGamma(buf)
+				var est core.Estimate
+				var err error
+				buf, est, err = e.fixWindow(buf[:0], dev, start, end)
 				if err != nil {
 					continue
 				}
@@ -373,5 +476,6 @@ func (e *Engine) Stats() Stats {
 		Workers:        e.workers,
 		ObsShards:      store.ShardCount(),
 		ObsRecords:     store.Len(),
+		KnowledgeGen:   e.knowGen.Load(),
 	}
 }

@@ -67,40 +67,67 @@ const (
 	maxIters = 200000
 )
 
+// Stats reports the work a solve took — the provenance of a solution.
+type Stats struct {
+	// Phase1Pivots counts pivots spent driving artificials to zero
+	// (including the pivot-out of zero-level artificials).
+	Phase1Pivots int
+	// Phase2Pivots counts pivots optimizing the real objective.
+	Phase2Pivots int
+	// Constraints is the constraint count of the solved program.
+	Constraints int
+}
+
+// Pivots is the total simplex pivot count across both phases.
+func (s Stats) Pivots() int { return s.Phase1Pivots + s.Phase2Pivots }
+
 // Solve maximizes the problem and returns the optimal variable assignment
 // and objective value. It returns ErrInfeasible when no assignment satisfies
 // the constraints and ErrUnbounded when the objective can grow without
 // limit.
 func Solve(p Problem) ([]float64, float64, error) {
+	x, obj, _, err := SolveStats(p)
+	return x, obj, err
+}
+
+// SolveStats is Solve with the solver-work statistics alongside, for
+// callers that record training provenance.
+func SolveStats(p Problem) ([]float64, float64, Stats, error) {
+	var st Stats
 	n := len(p.Objective)
 	if n == 0 {
-		return nil, 0, errors.New("lp: no variables")
+		return nil, 0, st, errors.New("lp: no variables")
 	}
 	for i, c := range p.Constraints {
 		if len(c.Coeffs) != n {
-			return nil, 0, fmt.Errorf("lp: constraint %d has %d coefficients, want %d",
+			return nil, 0, st, fmt.Errorf("lp: constraint %d has %d coefficients, want %d",
 				i, len(c.Coeffs), n)
 		}
 		switch c.Rel {
 		case LE, GE, EQ:
 		default:
-			return nil, 0, fmt.Errorf("lp: constraint %d has invalid relation", i)
+			return nil, 0, st, fmt.Errorf("lp: constraint %d has invalid relation", i)
 		}
 	}
+	st.Constraints = len(p.Constraints)
 
 	t := newTableau(p)
 	if err := t.phase1(); err != nil {
-		return nil, 0, err
+		st.Phase1Pivots = t.pivots
+		return nil, 0, st, err
 	}
+	st.Phase1Pivots = t.pivots
 	if err := t.phase2(); err != nil {
-		return nil, 0, err
+		st.Phase2Pivots = t.pivots - st.Phase1Pivots
+		return nil, 0, st, err
 	}
+	st.Phase2Pivots = t.pivots - st.Phase1Pivots
 	x := t.solution(n)
 	obj := 0.0
 	for j := 0; j < n; j++ {
 		obj += p.Objective[j] * x[j]
 	}
-	return x, obj, nil
+	return x, obj, st, nil
 }
 
 // tableau is a standard-form simplex tableau. Columns: n structural
@@ -115,6 +142,7 @@ type tableau struct {
 	basis    []int // basic variable per row
 	artStart int   // column index of first artificial
 	costs    []float64
+	pivots   int // Gauss-Jordan pivots performed
 }
 
 func newTableau(p Problem) *tableau {
@@ -226,6 +254,7 @@ func (t *tableau) pivot(pr, pc int) {
 		}
 	}
 	t.basis[pr] = pc
+	t.pivots++
 }
 
 // runSimplex iterates simplex pivots on the current objective row (row m),

@@ -302,3 +302,61 @@ func BenchmarkSolveAPRad50(b *testing.B) {
 		}
 	}
 }
+
+func TestSolveStatsCountsPivots(t *testing.T) {
+	// A ≤-only problem solves in phase 2 alone; GE constraints force a
+	// phase-1 drive. Either way Solve and SolveStats must agree exactly.
+	le := Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, B: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, B: 6},
+		},
+	}
+	x, obj, st, err := SolveStats(le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-12) > 1e-8 || math.Abs(x[0]-4) > 1e-8 {
+		t.Errorf("SolveStats solution x=%v obj=%v, want [4 0] and 12", x, obj)
+	}
+	if st.Constraints != 2 {
+		t.Errorf("Constraints = %d, want 2", st.Constraints)
+	}
+	if st.Phase1Pivots != 0 {
+		t.Errorf("Phase1Pivots = %d for a <=-only problem, want 0", st.Phase1Pivots)
+	}
+	if st.Phase2Pivots < 1 || st.Pivots() != st.Phase1Pivots+st.Phase2Pivots {
+		t.Errorf("pivot accounting broken: %+v total %d", st, st.Pivots())
+	}
+
+	ge := Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, B: 10},
+			{Coeffs: []float64{1, 0}, Rel: GE, B: 3},
+			{Coeffs: []float64{0, 1}, Rel: GE, B: 2},
+		},
+	}
+	_, _, st, err = SolveStats(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase1Pivots < 1 {
+		t.Errorf("Phase1Pivots = %d for a GE problem, want >= 1", st.Phase1Pivots)
+	}
+
+	// An infeasible problem still reports its phase-1 work.
+	bad := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, B: 1},
+			{Coeffs: []float64{1}, Rel: GE, B: 5},
+		},
+	}
+	if _, _, st, err = SolveStats(bad); err == nil {
+		t.Fatal("want infeasible error")
+	} else if st.Constraints != 2 || st.Phase1Pivots < 1 {
+		t.Errorf("infeasible stats = %+v, want constraint and pivot counts", st)
+	}
+}

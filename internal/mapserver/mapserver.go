@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/geom"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Process-wide display metrics. The localization-error histogram is the
@@ -83,6 +85,7 @@ type State struct {
 	aps     []APMarker
 	devices map[string]DeviceMarker
 	stats   func() any
+	tracer  *trace.Tracer
 }
 
 // NewState creates an empty map state.
@@ -137,6 +140,15 @@ func (s *State) UpdateDevice(mac dot11.MAC, est core.Estimate, truth *geom.Point
 // supplies the true position for devices whose ground truth the caller
 // knows (simulation); it returns false for the rest.
 func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11.MAC) (geom.Point, bool)) {
+	var tr *trace.Trace
+	if t := s.traceSource(); t != nil {
+		tr = t.Start(trace.KindPublish, "")
+	}
+	sp := tr.StartSpan("publish").Attr("devices", len(frame))
+	defer func() {
+		sp.End()
+		tr.Finish(nil)
+	}()
 	devices := make(map[string]DeviceMarker, len(frame))
 	for mac, est := range frame {
 		m := DeviceMarker{
@@ -177,6 +189,22 @@ func (s *State) statsSource() func() any {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.stats
+}
+
+// SetTracer installs the pipeline tracer behind /api/trace (recent-trace
+// ring dump) and /api/explain (latest per-device estimate provenance), and
+// lets PublishFrame record its publish span. nil (the default) leaves the
+// endpoints serving "tracing disabled".
+func (s *State) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+func (s *State) traceSource() *trace.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
 }
 
 // RemoveDevice drops a device from the map.
@@ -227,6 +255,30 @@ func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// apiGET instruments a JSON API route and enforces the API contract: only
+// GET (anything else gets 405 with an Allow header), and responses must
+// not be cached — every /api/* payload is a live pipeline snapshot, and a
+// cached estimate or provenance record would silently misreport the map.
+func apiGET(route string, h http.HandlerFunc) http.HandlerFunc {
+	return instrument(route, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Cache-Control", "no-store")
+		h(w, r)
+	})
+}
+
+// writeJSON encodes one API response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+	}
+}
+
 // Handler returns the HTTP handler for the map UI and API, with the
 // default telemetry endpoints and no pprof.
 func Handler(state *State) http.Handler {
@@ -236,40 +288,63 @@ func Handler(state *State) http.Handler {
 // NewHandler returns the HTTP handler for the map UI, the JSON API and
 // the observability endpoints: /metrics (Prometheus text format) and
 // /debug/vars (expvar-style JSON) always, /debug/pprof/ when opted in.
+// When a tracer is installed via State.SetTracer, /api/trace dumps the
+// recent-trace ring and /api/explain?device=MAC serves the device's
+// latest estimate provenance.
 func NewHandler(state *State, opts HandlerOpts) http.Handler {
 	reg := opts.Registry
 	if reg == nil {
 		reg = telemetry.Default()
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/state", instrument("/api/state", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("/api/state", apiGET("/api/state", func(w http.ResponseWriter, r *http.Request) {
 		aps, devices := state.snapshot()
-		w.Header().Set("Content-Type", "application/json")
-		err := json.NewEncoder(w).Encode(map[string]interface{}{
+		writeJSON(w, map[string]interface{}{
 			"aps":     aps,
 			"devices": devices,
 		})
-		if err != nil {
-			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
-		}
 	}))
-	mux.HandleFunc("/api/stats", instrument("/api/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("/api/stats", apiGET("/api/stats", func(w http.ResponseWriter, r *http.Request) {
 		var v any = map[string]any{}
 		if src := state.statsSource(); src != nil {
 			v = src()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+		writeJSON(w, v)
+	}))
+	mux.HandleFunc("/api/trace", apiGET("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		t := state.traceSource()
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, fmt.Sprintf("bad n %q: want a positive integer", q), http.StatusBadRequest)
+				return
+			}
+			n = v
 		}
+		writeJSON(w, map[string]any{
+			"enabled": t.Enabled(),
+			"stats":   t.Stats(),
+			"traces":  t.Recent(n),
+		})
+	}))
+	mux.HandleFunc("/api/explain", apiGET("/api/explain", func(w http.ResponseWriter, r *http.Request) {
+		dev := r.URL.Query().Get("device")
+		if dev == "" {
+			http.Error(w, "missing device parameter (MAC, e.g. /api/explain?device=02:dd:00:00:00:01)", http.StatusBadRequest)
+			return
+		}
+		t := state.traceSource()
+		if !t.Enabled() {
+			http.Error(w, "tracing disabled: restart with -trace to record estimate provenance", http.StatusNotFound)
+			return
+		}
+		p, ok := t.Explain(dev)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no traced estimate for device %s (yet — sampling is 1 in %d)", dev, t.SampleEvery()), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, p)
 	}))
 	mux.Handle("/metrics", instrument("/metrics", reg.MetricsHandler().ServeHTTP))
 	mux.Handle("/debug/vars", instrument("/debug/vars", reg.VarsHandler().ServeHTTP))

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/geom"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 func testState() *State {
@@ -59,16 +60,43 @@ func TestAPIState(t *testing.T) {
 	}
 }
 
+// TestAPIMethodNotAllowed (satellite): every JSON API route refuses
+// non-GET with 405, names the allowed method, and GET responses carry
+// Cache-Control: no-store so stale pipeline snapshots are never served.
 func TestAPIMethodNotAllowed(t *testing.T) {
 	srv := httptest.NewServer(Handler(NewState()))
 	defer srv.Close()
-	res, err := http.Post(srv.URL+"/api/state", "text/plain", strings.NewReader("x"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res.Body.Close()
-	if res.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("status = %d", res.StatusCode)
+	for _, route := range []string{"/api/state", "/api/stats", "/api/trace", "/api/explain"} {
+		res, err := http.Post(srv.URL+route, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status = %d, want 405", route, res.StatusCode)
+		}
+		if allow := res.Header.Get("Allow"); allow != http.MethodGet {
+			t.Errorf("POST %s Allow = %q, want GET", route, allow)
+		}
+
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+route, nil)
+		res, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("DELETE %s status = %d, want 405", route, res.StatusCode)
+		}
+
+		res, err = http.Get(srv.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if cc := res.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s Cache-Control = %q, want no-store", route, cc)
+		}
 	}
 }
 
@@ -281,6 +309,145 @@ func TestPprofOptIn(t *testing.T) {
 	res.Body.Close()
 	if !strings.Contains(string(body), "marauder_map_frames_published_total") {
 		t.Errorf("default /metrics missing map series:\n%s", body)
+	}
+}
+
+func TestAPITraceDisabled(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewState()))
+	defer srv.Close()
+
+	// Without a tracer /api/trace still answers, reporting disabled.
+	res, err := http.Get(srv.URL + "/api/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []trace.Record `json:"traces"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&payload)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Enabled || len(payload.Traces) != 0 {
+		t.Errorf("disabled /api/trace = %+v", payload)
+	}
+
+	// /api/explain 404s with a hint to enable tracing.
+	res, err = http.Get(srv.URL + "/api/explain?device=aa:bb:cc:dd:ee:ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled explain status = %d, want 404", res.StatusCode)
+	}
+	if !strings.Contains(string(body), "-trace") {
+		t.Errorf("disabled explain body %q should point at the -trace flag", body)
+	}
+}
+
+func TestAPITraceAndExplain(t *testing.T) {
+	tracer, err := trace.New(trace.Config{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := NewState()
+	state.SetTracer(tracer)
+	srv := httptest.NewServer(Handler(state))
+	defer srv.Close()
+
+	// /api/explain without a device parameter is a 400.
+	res, err := http.Get(srv.URL + "/api/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing-device status = %d, want 400", res.StatusCode)
+	}
+
+	// Enabled but nothing traced for this device yet: 404 with the
+	// sampling rate in the message.
+	res, err = http.Get(srv.URL + "/api/explain?device=aa:bb:cc:dd:ee:ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced device status = %d, want 404", res.StatusCode)
+	}
+	if !strings.Contains(string(body), "sampling is 1 in 1") {
+		t.Errorf("untraced device body %q should state the sampling rate", body)
+	}
+
+	// Record a fix trace with provenance and read it back both ways.
+	x := tracer.Start(trace.KindFix, "aa:bb:cc:dd:ee:ff")
+	x.StartSpan("localize").End()
+	x.Finish(&trace.Provenance{
+		Algorithm: "m-loc", Gamma: []string{"00:00:00:00:00:01"}, K: 1,
+		Located: true, IntersectedAreaM2: 42.0, Theorem2AreaM2: 40.1, CacheHit: true,
+	})
+
+	res, err = http.Get(srv.URL + "/api/explain?device=aa:bb:cc:dd:ee:ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p trace.Provenance
+	err = json.NewDecoder(res.Body).Decode(&p)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != "m-loc" || p.K != 1 || !p.CacheHit || p.IntersectedAreaM2 != 42.0 {
+		t.Errorf("explain payload = %+v", p)
+	}
+	if p.TraceID == "" || len(p.StagesMs) == 0 {
+		t.Errorf("explain payload missing trace ID or stages: %+v", p)
+	}
+
+	res, err = http.Get(srv.URL + "/api/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Enabled bool           `json:"enabled"`
+		Stats   trace.Stats    `json:"stats"`
+		Traces  []trace.Record `json:"traces"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&dump)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dump.Enabled || dump.Stats.Finished != 1 || len(dump.Traces) != 1 {
+		t.Errorf("/api/trace = enabled=%v stats=%+v traces=%d", dump.Enabled, dump.Stats, len(dump.Traces))
+	}
+	if dump.Traces[0].Provenance == nil || dump.Traces[0].Kind != trace.KindFix {
+		t.Errorf("trace record = %+v", dump.Traces[0])
+	}
+
+	// n validation: garbage and non-positive values are 400s.
+	for _, q := range []string{"?n=abc", "?n=0", "?n=-3"} {
+		res, err := http.Get(srv.URL + "/api/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("/api/trace%s status = %d, want 400", q, res.StatusCode)
+		}
+	}
+	res, err = http.Get(srv.URL + "/api/trace?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("/api/trace?n=1 status = %d", res.StatusCode)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/dot11"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Kind classifies an observation.
@@ -445,6 +446,30 @@ func (s *Store) APSetWindow(dev dot11.MAC, start, end float64) []dot11.MAC {
 // record ingested before the query began is always in the result — there
 // is no window in which the re-sort can hide it.
 func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end float64) []dot11.MAC {
+	dst, _, _ = s.appendAPSetWindow(dst, dev, start, end)
+	return dst
+}
+
+// AppendAPSetWindowTrace is AppendAPSetWindow with the query annotated
+// onto an open trace span: how many records the window matched, the
+// deduplicated |Γ|, and whether out-of-order ingest forced a re-sort of
+// the device log under the query. sp may be nil (nothing is annotated).
+func (s *Store) AppendAPSetWindowTrace(dst []dot11.MAC, dev dot11.MAC, start, end float64, sp *trace.SpanHandle) []dot11.MAC {
+	base := len(dst)
+	dst, scanned, resorted := s.appendAPSetWindow(dst, dev, start, end)
+	if sp != nil {
+		sp.Attr("records", scanned).Attr("gamma", len(dst)-base)
+		if resorted {
+			sp.Attr("resorted", true)
+		}
+	}
+	return dst
+}
+
+// appendAPSetWindow answers the window query and reports how many records
+// the window matched (before AP deduplication) and whether it re-sorted
+// the device log.
+func (s *Store) appendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end float64) (out []dot11.MAC, scanned int, resorted bool) {
 	defer mWindowSeconds.ObserveSince(time.Now())
 	sh := s.shardFor(dev)
 	base := len(dst)
@@ -452,7 +477,7 @@ func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end flo
 	dl := sh.byDev[dev]
 	if dl == nil {
 		sh.mu.RUnlock()
-		return dst
+		return dst, 0, false
 	}
 	if dl.sorted {
 		dst = appendWindow(dst, dl.recs, start, end)
@@ -463,9 +488,11 @@ func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end flo
 		if dl = sh.byDev[dev]; dl != nil {
 			sh.sortDeviceLogLocked(dev, dl)
 			dst = appendWindow(dst, dl.recs, start, end)
+			resorted = true
 		}
 		sh.mu.Unlock()
 	}
+	scanned = len(dst) - base
 	gamma := dst[base:]
 	sortMACs(gamma)
 	// Compact duplicates in place.
@@ -476,7 +503,7 @@ func (s *Store) AppendAPSetWindow(dst []dot11.MAC, dev dot11.MAC, start, end flo
 			uniq++
 		}
 	}
-	return dst[:base+uniq]
+	return dst[:base+uniq], scanned, resorted
 }
 
 // appendWindow appends the APs of the records with start ≤ t < end from a

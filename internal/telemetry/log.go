@@ -7,10 +7,17 @@ import (
 	"strings"
 )
 
-// NewLogger builds a slog.Logger writing to w. level is one of debug,
-// info, warn, error; format is text or json. The commands share this so
-// every component logs with the same handler and key conventions
-// (component, algo, device).
+// LogLevels and LogFormats enumerate the values -log-level and
+// -log-format accept, in the spelling the error messages advertise.
+var (
+	LogLevels  = []string{"debug", "info", "warn", "error"}
+	LogFormats = []string{"text", "json"}
+)
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// LogLevels ("warning" is accepted as an alias of warn); format is one
+// of LogFormats. The commands share this so every component logs with
+// the same handler and key conventions (component, algo, device).
 func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 	var lvl slog.Level
 	switch strings.ToLower(level) {
@@ -23,7 +30,8 @@ func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 	case "error":
 		lvl = slog.LevelError
 	default:
-		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn or error)", level)
+		return nil, fmt.Errorf("telemetry: unknown log level %q (accepted: %s)",
+			level, strings.Join(LogLevels, ", "))
 	}
 	opts := &slog.HandlerOptions{Level: lvl}
 	var h slog.Handler
@@ -33,7 +41,8 @@ func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 	case "json":
 		h = slog.NewJSONHandler(w, opts)
 	default:
-		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+		return nil, fmt.Errorf("telemetry: unknown log format %q (accepted: %s)",
+			format, strings.Join(LogFormats, ", "))
 	}
 	return slog.New(h), nil
 }

@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"io"
+	"log/slog"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -163,11 +166,23 @@ func TestLabelEscaping(t *testing.T) {
 }
 
 func TestNewLoggerValidation(t *testing.T) {
-	if _, err := NewLogger(nil, "nope", "text"); err == nil {
-		t.Error("want error for bad level")
+	_, err := NewLogger(nil, "nope", "text")
+	if err == nil {
+		t.Fatal("want error for bad level")
 	}
-	if _, err := NewLogger(nil, "info", "yaml"); err == nil {
-		t.Error("want error for bad format")
+	for _, want := range LogLevels {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("bad-level error %q does not list accepted value %q", err, want)
+		}
+	}
+	_, err = NewLogger(nil, "info", "yaml")
+	if err == nil {
+		t.Fatal("want error for bad format")
+	}
+	for _, want := range LogFormats {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("bad-format error %q does not list accepted value %q", err, want)
+		}
 	}
 	for _, lv := range []string{"debug", "info", "warn", "error", ""} {
 		for _, f := range []string{"text", "json", ""} {
@@ -175,5 +190,18 @@ func TestNewLoggerValidation(t *testing.T) {
 				t.Errorf("level=%q format=%q: %v", lv, f, err)
 			}
 		}
+	}
+}
+
+func TestSetupLoggingRejectsWithoutClobbering(t *testing.T) {
+	before := slog.Default()
+	if _, err := SetupLogging(io.Discard, "loud", "text"); err == nil {
+		t.Fatal("want error for bad level")
+	}
+	if _, err := SetupLogging(io.Discard, "info", "xml"); err == nil {
+		t.Fatal("want error for bad format")
+	}
+	if slog.Default() != before {
+		t.Error("failed SetupLogging replaced the default logger")
 	}
 }

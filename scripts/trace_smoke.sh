@@ -1,0 +1,103 @@
+#!/bin/sh
+# trace-smoke: boot cmd/marauder with -trace, pull a tracked device MAC
+# off /api/state, and assert /api/explain serves its provenance record
+# with the fields the tentpole promises — algorithm, Γ, k, the exact
+# intersected area next to Theorem 2's expectation, the cache-hit flag
+# and per-stage durations. Also spot-checks /api/trace and the API
+# contract (405 + Allow on non-GET, Cache-Control: no-store on GET).
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18643}"
+BIN="$(mktemp -d)/marauder"
+OUT="$(mktemp)"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$OUT"
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/marauder
+
+"$BIN" -addr "$ADDR" -trace -aps 150 -speedup 100 &
+PID=$!
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://$ADDR$1"
+    else
+        wget -qO- "http://$ADDR$1"
+    fi
+}
+
+# Wait for the first published frame to carry a device, then read its MAC.
+tries=0
+MAC=""
+while :; do
+    tries=$((tries + 1))
+    if fetch /api/state >"$OUT" 2>/dev/null; then
+        MAC="$(grep -o '"mac":"[^"]*"' "$OUT" | head -1 | cut -d'"' -f4 || true)"
+        [ -n "$MAC" ] && break
+    fi
+    if [ "$tries" -ge 60 ]; then
+        echo "trace-smoke: no device ever appeared on /api/state" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "trace-smoke: marauder exited early" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# The device is on the map, so its fix was traced (sample default 1).
+# Poll briefly anyway: explain indexes on trace Finish, a hair after
+# the frame publishes.
+tries=0
+while :; do
+    tries=$((tries + 1))
+    if fetch "/api/explain?device=$MAC" >"$OUT" 2>/dev/null; then
+        break
+    fi
+    if [ "$tries" -ge 20 ]; then
+        echo "trace-smoke: /api/explain never answered for $MAC" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+for field in \
+    '"traceId"' \
+    '"algorithm"' \
+    '"gamma"' \
+    '"k"' \
+    '"intersectedAreaM2"' \
+    '"theorem2AreaM2"' \
+    '"cacheHit"' \
+    '"stagesMs"' \
+    '"totalMs"'; do
+    grep -q "$field" "$OUT" || {
+        echo "trace-smoke: provenance missing $field:" >&2
+        cat "$OUT" >&2
+        exit 1
+    }
+done
+
+# The ring dump must be enabled and carry at least one trace with spans.
+fetch '/api/trace?n=5' >"$OUT"
+grep -q '"enabled":true' "$OUT" || { echo "trace-smoke: /api/trace not enabled" >&2; exit 1; }
+grep -q '"spans"' "$OUT" || { echo "trace-smoke: /api/trace carries no spans" >&2; exit 1; }
+
+# API contract: non-GET is 405 with Allow, GET is no-store.
+if command -v curl >/dev/null 2>&1; then
+    HDRS="$(curl -s -o /dev/null -D - -X POST "http://$ADDR/api/trace")"
+    echo "$HDRS" | grep -q '405' || { echo "trace-smoke: POST /api/trace not 405" >&2; exit 1; }
+    echo "$HDRS" | grep -qi '^allow: *get' || { echo "trace-smoke: 405 without Allow: GET" >&2; exit 1; }
+    curl -fsS -D - -o /dev/null "http://$ADDR/api/state" \
+        | grep -qi '^cache-control: *no-store' \
+        || { echo "trace-smoke: GET /api/state without Cache-Control: no-store" >&2; exit 1; }
+fi
+
+echo "trace-smoke: ok (device $MAC explained end-to-end)"
