@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke fuzz-smoke bench-ingest
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke fuzz-smoke bench-ingest
 
 all: check
 
@@ -59,5 +59,11 @@ metrics-smoke:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
+# End-to-end robustness gate: boot cmd/marauder with -chaos and
+# checkpointing, SIGKILL it mid-run, restart on the same checkpoint
+# directory, and assert the recovery log line and a live /api/health.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke
+check: vet build test race metrics-smoke trace-smoke chaos-smoke

@@ -9,6 +9,7 @@
 //	         [-seed 1] [-aps 300] [-speedup 50] [-workers 0] [-shards 0] [-once]
 //	         [-metrics-addr :9642] [-pprof] [-log-level info] [-log-format text]
 //	         [-trace] [-trace-sample 1] [-trace-buffer 256]
+//	         [-chaos] [-chaos-seed 1] [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
@@ -22,6 +23,14 @@
 // traces and provenance records (-trace-sample sets the sampled fraction,
 // -trace-buffer the retained ring), served at /api/trace and
 // /api/explain?device=MAC on the map port.
+//
+// -chaos injects a deterministic aggressive fault plan (card failures,
+// clock skew, frame corruption, drops, duplication, reordering) seeded by
+// -chaos-seed; the pipeline's degraded-vs-healthy self-report is served
+// at /api/health. -checkpoint-dir enables crash-safe observation
+// checkpoints: the newest valid one is restored on start and periodic
+// snapshots are written every -checkpoint-interval, plus a final one on
+// graceful shutdown.
 package main
 
 import (
@@ -30,15 +39,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mapserver"
 	"repro/internal/obs"
@@ -71,6 +83,31 @@ type attack struct {
 	baseKnow core.Knowledge
 	// trains marks the trained modes that need RefreshKnowledge.
 	trains bool
+	// plan is the chaos fault plan (nil when -chaos is off).
+	plan *faults.Plan
+	// injector perturbs capture batches (drop/dup/reorder/delay) before
+	// ingest; nil when -chaos is off.
+	injector *sniffer.FaultInjector
+	// ckpt periodically snapshots the observation store; nil when
+	// -checkpoint-dir is unset.
+	ckpt *obs.Checkpointer
+}
+
+// attackOpts is the full build configuration; the positional helpers
+// below keep the original test-facing signatures.
+type attackOpts struct {
+	Seed    int64
+	APs     int
+	Algo    string
+	Workers int
+	Shards  int
+	Tracer  *trace.Tracer
+	// Faults, when non-nil, injects the chaos plan into the sniffer (card
+	// schedules) and installs a batch injector on the capture path.
+	Faults *faults.Plan
+	// Store, when non-nil, seeds the engine with a recovered observation
+	// store instead of an empty one.
+	Store *obs.Store
 }
 
 // newLocalizer maps an -algo name to its Localizer and the knowledge base
@@ -132,17 +169,21 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 }
 
 func buildAttack(seed int64, nAPs int, algo string) (*attack, error) {
-	return buildAttackTraced(seed, nAPs, algo, 0, 0, nil)
+	return buildAttackOpts(attackOpts{Seed: seed, APs: nAPs, Algo: algo})
 }
 
 func buildAttackWorkers(seed int64, nAPs int, algo string, workers, shards int) (*attack, error) {
-	return buildAttackTraced(seed, nAPs, algo, workers, shards, nil)
+	return buildAttackOpts(attackOpts{Seed: seed, APs: nAPs, Algo: algo, Workers: workers, Shards: shards})
 }
 
 func buildAttackTraced(seed int64, nAPs int, algo string, workers, shards int, tracer *trace.Tracer) (*attack, error) {
-	w := sim.NewWorld(seed)
+	return buildAttackOpts(attackOpts{Seed: seed, APs: nAPs, Algo: algo, Workers: workers, Shards: shards, Tracer: tracer})
+}
+
+func buildAttackOpts(o attackOpts) (*attack, error) {
+	w := sim.NewWorld(o.Seed)
 	aps, err := sim.UniformDeployment(sim.DeploymentConfig{
-		N:        nAPs,
+		N:        o.APs,
 		Min:      geom.Pt(-350, -350),
 		Max:      geom.Pt(350, 350),
 		RangeMin: 70,
@@ -176,25 +217,29 @@ func buildAttackTraced(seed int64, nAPs int, algo string, workers, shards int, t
 		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
 	}
 
-	locate, base, err := newLocalizer(algo, know, w)
+	locate, base, err := newLocalizer(o.Algo, know, w)
 	if err != nil {
 		return nil, err
 	}
 	// For trained modes the engine starts on the radius-less base: fixes
 	// fail (no usable discs) until RefreshKnowledge swaps trained radii in.
 	_, trains := locate.(core.KnowledgeTrainer)
+	store := o.Store
+	if store == nil {
+		store = obs.NewStoreShards(o.Shards)
+	}
 	eng, err := engine.New(engine.Config{
 		Know:      base,
-		Store:     obs.NewStoreShards(shards),
+		Store:     store,
 		Localizer: locate,
 		WindowSec: 45,
-		Workers:   workers,
-		Tracer:    tracer,
+		Workers:   o.Workers,
+		Tracer:    o.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &attack{
+	a := &attack{
 		world:  w,
 		victim: victim,
 		route:  route,
@@ -202,13 +247,19 @@ func buildAttackTraced(seed int64, nAPs int, algo string, workers, shards int, t
 		eng:    eng,
 		know:   know,
 		sniffer: sniffer.New(sniffer.Config{
-			Pos:   geom.Pt(0, 0),
-			Chain: rf.ChainLNA(),
-			Plan:  dot11.DefaultPlan(),
+			Pos:    geom.Pt(0, 0),
+			Chain:  rf.ChainLNA(),
+			Plan:   dot11.DefaultPlan(),
+			Faults: o.Faults,
 		}),
 		baseKnow: base,
 		trains:   trains,
-	}, nil
+		plan:     o.Faults,
+	}
+	if o.Faults.Enabled() {
+		a.injector = &sniffer.FaultInjector{Plan: o.Faults}
+	}
+	return a, nil
 }
 
 // captureUpTo simulates and captures the victim's probing traffic in
@@ -223,7 +274,49 @@ func (a *attack) captureUpTo(from, to float64) {
 		batch = a.sniffer.CaptureAllInto(batch, sim.ScanBurst(a.world, a.victim, t, pos, seq))
 		seq++
 	}
+	if a.injector != nil {
+		batch = a.injector.Apply(batch)
+	}
 	a.eng.IngestCaptures(batch)
+}
+
+// drainHeld flushes any fault-delayed batches into the engine, so a
+// shutdown or end-of-run loses nothing the injector was still holding.
+func (a *attack) drainHeld() {
+	if a.injector == nil {
+		return
+	}
+	if held := a.injector.Drain(); len(held) > 0 {
+		a.eng.IngestCaptures(held)
+	}
+}
+
+// health composes the pipeline's /api/health report at simulated time
+// tSec: the engine's refresh and quarantine state plus the monitoring
+// cards' schedules, with fault and checkpoint counters in the detail.
+func (a *attack) health(tSec float64) mapserver.Health {
+	eh := a.eng.Health()
+	h := mapserver.Health{Status: mapserver.StatusHealthy}
+	h.Reasons = append(h.Reasons, eh.Reasons...)
+	if !eh.Healthy {
+		h.Status = mapserver.StatusDegraded
+	}
+	cards := a.sniffer.CardHealth(tSec)
+	for _, c := range cards {
+		if !c.Up {
+			h.Status = mapserver.StatusDegraded
+			h.Reasons = append(h.Reasons, fmt.Sprintf("card channel %d down", c.Channel))
+		}
+	}
+	detail := map[string]any{"engine": eh, "cards": cards}
+	if a.plan.Enabled() {
+		detail["faults"] = a.plan.Counters()
+	}
+	if a.ckpt != nil {
+		detail["checkpointGeneration"] = a.ckpt.Generation()
+	}
+	h.Detail = detail
+	return h
 }
 
 func run(args []string) error {
@@ -243,6 +336,10 @@ func run(args []string) error {
 	traceOn := fs.Bool("trace", false, "sample localizations into per-estimate traces and provenance records")
 	traceSample := fs.Float64("trace-sample", 1, "fraction of localizations traced, in (0, 1] (resolves to every-Nth sampling)")
 	traceBuffer := fs.Int("trace-buffer", 256, "finished-trace ring buffer capacity")
+	chaos := fs.Bool("chaos", false, "inject the aggressive fault plan: card failures, clock skew, frame corruption, drops, duplication, reordering")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault plan seed (deterministic per seed)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for crash-safe observation checkpoints (recovery on start, periodic snapshots while serving)")
+	ckptInterval := fs.Duration("checkpoint-interval", 10*time.Second, "period between observation checkpoints")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,9 +368,43 @@ func run(args []string) error {
 		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
-	a, err := buildAttackTraced(*seed, *nAPs, *algo, *workers, *shards, tracer)
+	opts := attackOpts{Seed: *seed, APs: *nAPs, Algo: *algo, Workers: *workers, Shards: *shards, Tracer: tracer}
+	if *chaos {
+		opts.Faults = faults.Aggressive(*chaosSeed)
+		slog.Info("chaos mode on", "component", "marauder", "seed", *chaosSeed)
+	}
+
+	var recoveredGen uint64
+	if *ckptDir != "" {
+		store, info, err := obs.Recover(*ckptDir, *shards)
+		if err != nil {
+			return err
+		}
+		for _, sk := range info.Skipped {
+			slog.Warn("checkpoint skipped", "component", "marauder", "path", sk.Path, "err", sk.Err)
+		}
+		if store != nil {
+			opts.Store = store
+			recoveredGen = info.Meta.Generation
+			slog.Info("observations restored from checkpoint", "component", "marauder",
+				"path", info.Path, "generation", info.Meta.Generation,
+				"records", info.Meta.Records, "skipped", len(info.Skipped))
+		} else {
+			slog.Info("no checkpoint to restore", "component", "marauder", "dir", *ckptDir)
+		}
+	}
+
+	a, err := buildAttackOpts(opts)
 	if err != nil {
 		return err
+	}
+	if *ckptDir != "" {
+		a.ckpt = &obs.Checkpointer{
+			Dir:      *ckptDir,
+			Interval: *ckptInterval,
+			Source:   func() *obs.Store { return a.eng.Store() },
+		}
+		a.ckpt.SetGeneration(recoveredGen)
 	}
 
 	if *once {
@@ -285,6 +416,14 @@ func run(args []string) error {
 func runOnce(a *attack, algo string) error {
 	total := a.route.TotalDuration()
 	a.captureUpTo(0, total)
+	a.drainHeld()
+	if a.ckpt != nil {
+		if path, err := a.ckpt.CheckpointNow(); err != nil {
+			slog.Warn("final checkpoint failed", "component", "marauder", "err", err)
+		} else {
+			slog.Info("final checkpoint written", "component", "marauder", "path", path)
+		}
+	}
 	if a.trains {
 		if err := a.eng.RefreshKnowledge(); err != nil {
 			return err
@@ -329,6 +468,12 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			"trace":      a.eng.Tracer().Stats(),
 		}
 	})
+	// simNow mirrors the serve loop's simulated clock for the health
+	// endpoint, which runs on HTTP goroutines.
+	var simNow atomic.Uint64
+	state.SetHealthSource(func() mapserver.Health {
+		return a.health(math.Float64frombits(simNow.Load()))
+	})
 
 	srv := &http.Server{Addr: addr, Handler: mapserver.NewHandler(state, mapserver.HandlerOpts{Pprof: pprofOn})}
 	errCh := make(chan error, 1)
@@ -343,6 +488,9 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if a.ckpt != nil {
+		go a.ckpt.Run(ctx)
+	}
 
 	total := a.route.TotalDuration()
 	simTime := 0.0
@@ -351,6 +499,16 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	for {
 		select {
 		case <-ctx.Done():
+			// Graceful shutdown: flush delayed batches and snapshot the
+			// store one last time so a restart resumes from here.
+			a.drainHeld()
+			if a.ckpt != nil {
+				if path, err := a.ckpt.CheckpointNow(); err != nil {
+					slog.Warn("final checkpoint failed", "component", "marauder", "err", err)
+				} else {
+					slog.Info("final checkpoint written", "component", "marauder", "path", path)
+				}
+			}
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			return srv.Shutdown(shutdownCtx)
@@ -366,6 +524,8 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			}
 			a.captureUpTo(simTime, next)
 			simTime = next
+			simNow.Store(math.Float64bits(simTime))
+			a.sniffer.UpdateHealthMetrics(simTime)
 			if a.trains {
 				if err := a.eng.RefreshKnowledge(); err != nil {
 					// Not enough data yet; the next tick retries.

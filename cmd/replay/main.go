@@ -9,6 +9,14 @@
 //	replay -pcap capture.pcap -aps aps.csv [-algo mloc|centroid|closest|aprad]
 //	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json] [-shards 0]
 //	       [-trace] [-trace-sample 1] [-trace-buffer 256]
+//	       [-chaos] [-chaos-seed 1] [-checkpoint-dir DIR]
+//
+// With -chaos the capture batch runs through the deterministic aggressive
+// fault plan (drops, corruption, duplication, reordering) before ingest;
+// corrupted frames land in the engine's quarantine, and the fault and
+// quarantine counts are printed with the map. With -checkpoint-dir the
+// newest valid observation checkpoint is restored before the replay and a
+// final checkpoint is written after it.
 //
 // With -demo it first generates a demo capture+database pair into the
 // given paths, then replays them (useful without prior artifacts). With
@@ -32,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -69,6 +78,10 @@ func run(args []string) error {
 	traceOn := fs.Bool("trace", false, "sample localizations into per-estimate traces and provenance records")
 	traceSample := fs.Float64("trace-sample", 1, "fraction of localizations traced, in (0, 1] (resolves to every-Nth sampling)")
 	traceBuffer := fs.Int("trace-buffer", 256, "finished-trace ring buffer capacity")
+	chaos := fs.Bool("chaos", false, "run the capture through the aggressive fault plan before ingest")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault plan seed (deterministic per seed)")
+	ckptDir := fs.String("checkpoint-dir", "", "restore the newest observation checkpoint before the replay and write one after it")
+	ckptInterval := fs.Duration("checkpoint-interval", 10*time.Second, "checkpoint period (accepted for parity with marauder; one-shot replay writes a single final checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,9 +171,27 @@ func run(args []string) error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
+	store := obs.NewStoreShards(*shards)
+	var recoveredGen uint64
+	if *ckptDir != "" {
+		recovered, info, err := obs.Recover(*ckptDir, *shards)
+		if err != nil {
+			return err
+		}
+		for _, sk := range info.Skipped {
+			slog.Warn("checkpoint skipped", "component", "replay", "path", sk.Path, "err", sk.Err)
+		}
+		if recovered != nil {
+			store = recovered
+			recoveredGen = info.Meta.Generation
+			slog.Info("observations restored from checkpoint", "component", "replay",
+				"path", info.Path, "generation", info.Meta.Generation, "records", info.Meta.Records)
+		}
+	}
+
 	eng, err := engine.New(engine.Config{
 		Know:      know,
-		Store:     obs.NewStoreShards(*shards),
+		Store:     store,
 		Localizer: locate,
 		WindowSec: 60, // SnapshotRange below spans the whole capture
 		Tracer:    tracer,
@@ -169,16 +200,36 @@ func run(args []string) error {
 		return err
 	}
 	for i := range caps {
+		if caps[i].Frame == nil {
+			// Undecodable packet kept as raw bytes; the engine quarantines
+			// it with a counted reason instead of dropping it here.
+			continue
+		}
 		// Replay cannot know the capture-side FromAP attribution; trust
 		// beacons whose source appears in the AP database.
 		_, caps[i].FromAP = db.Get(caps[i].Frame.Addr2)
 	}
+	var plan *faults.Plan
+	if *chaos {
+		plan = faults.Aggressive(*chaosSeed)
+		inj := &sniffer.FaultInjector{Plan: plan}
+		caps = append(inj.Apply(caps), inj.Drain()...)
+		slog.Info("chaos mode on", "component", "replay", "seed", *chaosSeed)
+	}
 	// The whole capture is one batch: the store groups it by shard and
 	// takes each shard lock once instead of once per frame.
 	eng.IngestCaptures(caps)
-	store := eng.Store()
+	store = eng.Store()
 	fmt.Printf("replayed %d frames: %d devices (%d probing), %d APs observed\n",
 		len(caps), len(store.Devices()), len(store.ProbingDevices()), len(store.APs()))
+	if q := eng.Quarantine(); q.Total > 0 {
+		fmt.Printf("quarantined %d captures: %v\n", q.Total, q.ByReason)
+	}
+	if plan != nil {
+		c := plan.Counters()
+		fmt.Printf("faults injected: dropped=%d corrupted=%d duplicated=%d reorderedBatches=%d delayedBatches=%d\n",
+			c.Dropped, c.Corrupted, c.Duplicated, c.ReorderedBatches, c.DelayedBatches)
+	}
 
 	if err := eng.RefreshKnowledge(); err != nil {
 		return fmt.Errorf("train knowledge: %w", err)
@@ -224,18 +275,21 @@ func run(args []string) error {
 	}
 
 	if *obsOut != "" {
-		f, err := os.Create(*obsOut)
-		if err != nil {
-			return err
-		}
-		if err := store.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: a crash mid-save leaves the previous file intact
+		// instead of a truncated JSON document.
+		if err := obs.WriteFileAtomic(*obsOut, store.Save); err != nil {
 			return err
 		}
 		slog.Info("observation store saved", "component", "replay", "path", *obsOut)
+	}
+	if *ckptDir != "" {
+		ckpt := &obs.Checkpointer{Dir: *ckptDir, Interval: *ckptInterval, Source: func() *obs.Store { return store }}
+		ckpt.SetGeneration(recoveredGen)
+		path, err := ckpt.CheckpointNow()
+		if err != nil {
+			return err
+		}
+		slog.Info("final checkpoint written", "component", "replay", "path", path, "generation", ckpt.Generation())
 	}
 	return nil
 }

@@ -50,6 +50,12 @@ type Config struct {
 	// Tracer samples localizations into per-estimate traces and
 	// provenance records. nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// RefreshAttempts caps how many times one RefreshKnowledge call tries
+	// the training run before giving up; 0 means the default (3).
+	RefreshAttempts int
+	// RefreshBackoff is the first retry's delay, doubled per further
+	// attempt; 0 means the default (25ms), negative disables the sleep.
+	RefreshBackoff time.Duration
 }
 
 // Engine runs the concurrent ingest→observe→localize pipeline. It is safe
@@ -67,10 +73,25 @@ type Engine struct {
 	cache  *gammaCache
 	tracer *trace.Tracer
 
+	// rejects is the bounded quarantine for corrupt/undecodable captures.
+	rejects quarantine
+
+	// refreshAttempts/refreshBackoff bound RefreshKnowledge's retry loop.
+	refreshAttempts int
+	refreshBackoff  time.Duration
+
 	fixes     atomic.Uint64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// trainedOnce flips when a training run first succeeds: from then on a
+	// failed refresh degrades to the last-known-good knowledge instead of
+	// erroring the pipeline.
+	trainedOnce   atomic.Bool
+	refreshRetry  atomic.Uint64
+	refreshFail   atomic.Uint64 // consecutive failed RefreshKnowledge calls
+	refreshFellBk atomic.Uint64
 
 	// knowGen counts knowledge-base swaps; every estimate's provenance
 	// carries the generation it was computed against.
@@ -100,6 +121,9 @@ type Stats struct {
 	// KnowledgeGen counts knowledge-base swaps since construction — the
 	// generation the provenance of new estimates references.
 	KnowledgeGen uint64
+	// Quarantined is the number of captures diverted to the reject queue
+	// instead of ingested.
+	Quarantined uint64
 }
 
 // logWorkersOnce makes the resolved-worker startup log fire once per
@@ -133,14 +157,26 @@ func New(cfg Config) (*Engine, error) {
 			"gomaxprocs", runtime.GOMAXPROCS(0),
 			"algo", loc.Name())
 	})
+	attempts := cfg.RefreshAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := cfg.RefreshBackoff
+	if backoff == 0 {
+		backoff = 25 * time.Millisecond
+	} else if backoff < 0 {
+		backoff = 0
+	}
 	e := &Engine{
-		loc:       loc,
-		windowSec: cfg.WindowSec,
-		workers:   workers,
-		store:     store,
-		base:      cfg.Know,
-		know:      cfg.Know,
-		tracer:    cfg.Tracer,
+		loc:             loc,
+		windowSec:       cfg.WindowSec,
+		workers:         workers,
+		store:           store,
+		base:            cfg.Know,
+		know:            cfg.Know,
+		tracer:          cfg.Tracer,
+		refreshAttempts: attempts,
+		refreshBackoff:  backoff,
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -181,6 +217,11 @@ func (e *Engine) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
 // IngestCaptures feeds a batch of sniffer captures through the store's
 // batched ingest path — grouped by shard, one lock acquisition per shard
 // per batch instead of one per frame — and returns how many were ingested.
+//
+// Corrupt captures never poison the store: a capture without a decoded
+// frame gets one decode attempt from its raw bytes and is otherwise
+// diverted to the counted quarantine queue (see Quarantine) instead of
+// erroring the batch or silently disappearing.
 func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 	if len(caps) == 0 {
 		return 0
@@ -190,16 +231,47 @@ func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 		tr = e.tracer.Start(trace.KindIngest, "")
 	}
 	sp := tr.StartSpan("ingest").Attr("frames", len(caps))
-	batch := make([]obs.FrameCapture, len(caps))
-	for i, c := range caps {
-		batch[i] = obs.FrameCapture{TimeSec: c.TimeSec, Frame: c.Frame, FromAP: c.FromAP}
+	batch := make([]obs.FrameCapture, 0, len(caps))
+	quarantined := 0
+	for _, c := range caps {
+		if c.Frame == nil {
+			var reason string
+			if len(c.Raw) > 0 {
+				if f, err := dot11.Decode(c.Raw); err == nil {
+					c.Frame = f
+				} else {
+					reason = ReasonUndecodable
+				}
+			} else {
+				reason = ReasonMissingFrame
+			}
+			if reason != "" {
+				e.rejects.add(QuarantinedCapture{
+					TimeSec:     c.TimeSec,
+					Reason:      reason,
+					RawLen:      len(c.Raw),
+					CardChannel: c.CardChannel,
+				})
+				mQuarantined(reason).Inc()
+				quarantined++
+				continue
+			}
+		}
+		batch = append(batch, obs.FrameCapture{TimeSec: c.TimeSec, Frame: c.Frame, FromAP: c.FromAP})
 	}
 	e.Store().IngestFrames(batch)
+	if quarantined > 0 {
+		sp.Attr("quarantined", quarantined)
+	}
 	sp.End()
 	tr.Finish(nil)
-	mFramesIngested.Add(uint64(len(caps)))
-	return len(caps)
+	mFramesIngested.Add(uint64(len(batch)))
+	return len(batch)
 }
+
+// Quarantine reports the reject queue: totals per reason and the newest
+// retained samples.
+func (e *Engine) Quarantine() QuarantineStats { return e.rejects.stats() }
 
 // ResetObservations discards all accumulated observations (a fresh store)
 // while keeping knowledge and cache: localization is a function of
@@ -238,11 +310,50 @@ func (e *Engine) SetKnowledge(k core.Knowledge) {
 // observed so far when the algorithm learns from observations (AP-Rad
 // estimates radii, AP-Loc estimates positions too). For algorithms that
 // take knowledge as given it is a no-op.
+//
+// A failed training run no longer wedges the pipeline: the run is retried
+// up to Config.RefreshAttempts times with exponential backoff, and once
+// any training run has ever succeeded, exhausting the retries degrades to
+// the last-known-good knowledge (returning nil, counted in Health as a
+// fallback) instead of surfacing the error. Before the first success
+// there is nothing good to fall back on, so the error propagates.
 func (e *Engine) RefreshKnowledge() error {
 	trainer, ok := e.loc.(core.KnowledgeTrainer)
 	if !ok {
 		return nil
 	}
+	var err error
+	for attempt := 0; attempt < e.refreshAttempts; attempt++ {
+		if attempt > 0 {
+			e.refreshRetry.Add(1)
+			mRefreshRetries.Inc()
+			if e.refreshBackoff > 0 {
+				time.Sleep(e.refreshBackoff << (attempt - 1))
+			}
+		}
+		if err = e.refreshOnce(trainer); err == nil {
+			e.trainedOnce.Store(true)
+			e.refreshFail.Store(0)
+			return nil
+		}
+	}
+	e.refreshFail.Add(1)
+	if e.trainedOnce.Load() {
+		e.refreshFellBk.Add(1)
+		mRefreshFallbacks.Inc()
+		slog.Warn("knowledge refresh failed; keeping last-known-good knowledge",
+			"component", "engine",
+			"algo", e.loc.Name(),
+			"attempts", e.refreshAttempts,
+			"gen", e.knowGen.Load(),
+			"err", err)
+		return nil
+	}
+	return err
+}
+
+// refreshOnce runs one training attempt end to end.
+func (e *Engine) refreshOnce(trainer core.KnowledgeTrainer) error {
 	var tr *trace.Trace
 	if e.tracer != nil {
 		tr = e.tracer.Start(trace.KindRefresh, "")
@@ -477,5 +588,33 @@ func (e *Engine) Stats() Stats {
 		ObsShards:      store.ShardCount(),
 		ObsRecords:     store.Len(),
 		KnowledgeGen:   e.knowGen.Load(),
+		Quarantined:    e.rejects.stats().Total,
 	}
+}
+
+// Health reports the engine's degraded-vs-healthy state: the pipeline is
+// degraded while knowledge refreshes keep failing (the map is being drawn
+// from stale last-known-good knowledge). Quarantined captures are
+// reported but do not degrade health by themselves — diverting corrupt
+// input is the engine doing its job.
+func (e *Engine) Health() Health {
+	h := Health{
+		Healthy:                    true,
+		Quarantined:                e.rejects.stats().Total,
+		RefreshRetries:             e.refreshRetry.Load(),
+		RefreshFallbacks:           e.refreshFellBk.Load(),
+		ConsecutiveRefreshFailures: e.refreshFail.Load(),
+		KnowledgeGen:               e.knowGen.Load(),
+		TrainedOnce:                e.trainedOnce.Load(),
+	}
+	if _, trains := e.loc.(core.KnowledgeTrainer); !trains {
+		h.TrainedOnce = true
+	}
+	if n := h.ConsecutiveRefreshFailures; n > 0 {
+		h.Healthy = false
+		h.Reasons = append(h.Reasons,
+			fmt.Sprintf("knowledge refresh failing (%d consecutive, serving generation %d)",
+				n, h.KnowledgeGen))
+	}
+	return h
 }

@@ -38,4 +38,18 @@ var (
 	mRefreshSeconds = telemetry.Default().Histogram(
 		"marauder_engine_knowledge_refresh_seconds",
 		"Wall time per knowledge re-training run.", telemetry.LatencyBuckets(), nil)
+	mRefreshRetries = telemetry.Default().Counter(
+		"marauder_engine_knowledge_refresh_retries_total",
+		"Knowledge re-training attempts beyond the first within one RefreshKnowledge call.", nil)
+	mRefreshFallbacks = telemetry.Default().Counter(
+		"marauder_engine_knowledge_refresh_fallbacks_total",
+		"RefreshKnowledge calls that exhausted retries and kept the last-known-good knowledge.", nil)
 )
+
+// mQuarantined counts captures diverted to the reject queue, by reason.
+func mQuarantined(reason string) *telemetry.Counter {
+	return telemetry.Default().Counter(
+		"marauder_engine_quarantined_total",
+		"Captures quarantined instead of ingested, by reason.",
+		telemetry.Labels{"reason": reason})
+}

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dot11"
+)
+
+func TestNilPlanPassesThrough(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Error("nil plan should be disabled")
+	}
+	if !p.CardAlive(6, 100) || p.CardPenaltyDB(6, 100) != 0 {
+		t.Error("nil plan should report every card healthy")
+	}
+	if p.FrameOutcome() != Pass {
+		t.Error("nil plan should pass every frame")
+	}
+	if p.PerturbTime(42) != 42 {
+		t.Error("nil plan should not perturb time")
+	}
+	if _, ok := p.ShuffleBatch(10); ok {
+		t.Error("nil plan should not shuffle")
+	}
+	if p.DelayBatch() {
+		t.Error("nil plan should not delay")
+	}
+	p.RecordCardReject()
+	if p.Counters() != (Counters{}) {
+		t.Error("nil plan counters should be zero")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{DropProb: -0.1},
+		{CorruptProb: 1.5},
+		{DupProb: math.NaN()},
+		{DropProb: 0.5, CorruptProb: 0.4, DupProb: 0.2}, // sums past 1
+		{ClockJitterSec: -1},
+		{Cards: []CardFault{{Channel: 6, Mode: CardFlapping}}},                                 // no period
+		{Cards: []CardFault{{Channel: 6, Mode: CardFlapping, PeriodSec: 10, DownFraction: 1}}}, // duty out of range
+		{Cards: []CardFault{{Channel: 6, Mode: CardDegraded, PenaltyDB: -3}}},
+		{Cards: []CardFault{{Channel: 6}}}, // unknown mode
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: want validation error", i)
+		}
+	}
+	if _, err := New(Config{DropProb: 0.3, CorruptProb: 0.3, DupProb: 0.3}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCardSchedule(t *testing.T) {
+	p, err := New(Config{Cards: []CardFault{
+		{Channel: 1, Mode: CardDead, FromSec: 10, ToSec: 20},
+		{Channel: 6, Mode: CardFlapping, PeriodSec: 10, DownFraction: 0.5},
+		{Channel: 11, Mode: CardDegraded, FromSec: 5, PenaltyDB: 9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dead card: down only inside its window.
+	if !p.CardAlive(1, 5) || p.CardAlive(1, 15) || !p.CardAlive(1, 25) {
+		t.Error("dead-card window wrong")
+	}
+	// Flapping: down in the first half of each period, up in the second.
+	if p.CardAlive(6, 2) || !p.CardAlive(6, 7) || p.CardAlive(6, 12) || !p.CardAlive(6, 17) {
+		t.Error("flapping schedule wrong")
+	}
+	// Degraded: decodes throughout, penalized after FromSec.
+	if !p.CardAlive(11, 100) {
+		t.Error("degraded card should stay alive")
+	}
+	if p.CardPenaltyDB(11, 2) != 0 || p.CardPenaltyDB(11, 10) != 9 {
+		t.Error("degraded penalty schedule wrong")
+	}
+	// Unfaulted channels are untouched.
+	if !p.CardAlive(3, 15) || p.CardPenaltyDB(3, 15) != 0 {
+		t.Error("unfaulted channel affected")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	draw := func() ([]Outcome, []float64) {
+		p, err := New(Config{Seed: 42, DropProb: 0.2, CorruptProb: 0.2, DupProb: 0.2,
+			ClockJitterSec: 0.1, ReorderProb: 0.5, DelayProb: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]Outcome, 200)
+		times := make([]float64, 200)
+		for i := range outs {
+			outs[i] = p.FrameOutcome()
+			times[i] = p.PerturbTime(float64(i))
+		}
+		return outs, times
+	}
+	o1, t1 := draw()
+	o2, t2 := draw()
+	for i := range o1 {
+		if o1[i] != o2[i] || t1[i] != t2[i] {
+			t.Fatalf("draw %d diverged between identically seeded plans", i)
+		}
+	}
+}
+
+func TestOutcomeCountersAccount(t *testing.T) {
+	p, err := New(Config{Seed: 7, DropProb: 0.3, CorruptProb: 0.3, DupProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	var drop, corrupt, dup, pass uint64
+	for i := 0; i < n; i++ {
+		switch p.FrameOutcome() {
+		case Drop:
+			drop++
+		case Corrupt:
+			corrupt++
+		case Duplicate:
+			dup++
+		default:
+			pass++
+		}
+	}
+	c := p.Counters()
+	if c.Dropped != drop || c.Corrupted != corrupt || c.Duplicated != dup {
+		t.Fatalf("counters %+v disagree with observed %d/%d/%d", c, drop, corrupt, dup)
+	}
+	if drop == 0 || corrupt == 0 || dup == 0 || pass == 0 {
+		t.Fatalf("with 30/30/30 probabilities every outcome should occur: %d/%d/%d/%d",
+			drop, corrupt, dup, pass)
+	}
+}
+
+func TestCorruptBytesBreaksFCS(t *testing.T) {
+	p, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &dot11.Frame{
+		Type:    dot11.TypeManagement,
+		Subtype: dot11.SubtypeProbeRequest,
+		Addr1:   dot11.Broadcast,
+		Addr2:   dot11.MAC{2, 0xDD, 0, 0, 0, 1},
+		Addr3:   dot11.Broadcast,
+	}
+	for i := 0; i < 50; i++ {
+		raw, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dot11.Decode(p.CorruptBytes(raw)); err == nil {
+			t.Fatal("corrupted frame decoded cleanly; bit flips should break the FCS")
+		}
+	}
+}
+
+func TestShuffleBatchPermutation(t *testing.T) {
+	p, err := New(Config{Seed: 5, ReorderProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, ok := p.ShuffleBatch(8)
+	if !ok || len(perm) != 8 {
+		t.Fatalf("ShuffleBatch = %v, %v; want a permutation of 8", perm, ok)
+	}
+	seen := make([]bool, 8)
+	for _, i := range perm {
+		if i < 0 || i >= 8 || seen[i] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[i] = true
+	}
+	// Single-element batches never shuffle.
+	if _, ok := p.ShuffleBatch(1); ok {
+		t.Error("1-element batch should never shuffle")
+	}
+	if got := p.Counters().ReorderedBatches; got != 1 {
+		t.Errorf("ReorderedBatches = %d, want 1", got)
+	}
+}
+
+func TestAggressivePresetValid(t *testing.T) {
+	p := Aggressive(1)
+	if !p.Enabled() {
+		t.Fatal("aggressive plan should be enabled")
+	}
+	if p.CardAlive(1, 100) {
+		t.Error("aggressive plan: channel 1 should be dead after 30s")
+	}
+	if p.CardPenaltyDB(11, 100) <= 0 {
+		t.Error("aggressive plan: channel 11 should be degraded after 60s")
+	}
+}

@@ -79,12 +79,32 @@ type DeviceMarker struct {
 	HasTruth bool        `json:"hasTruth"`
 }
 
+// Health is the pipeline's degraded-vs-healthy self-report, served at
+// /api/health. Status is "healthy" or "degraded"; Reasons names each
+// active degradation; Detail carries the provider's full health payload
+// (engine counters, card states, checkpoint state).
+type Health struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+	Detail  any      `json:"detail,omitempty"`
+}
+
+// Healthy reports whether the status is "healthy".
+func (h Health) Healthy() bool { return h.Status == StatusHealthy }
+
+// Health status values.
+const (
+	StatusHealthy  = "healthy"
+	StatusDegraded = "degraded"
+)
+
 // State is the server's current map content. Safe for concurrent use.
 type State struct {
 	mu      sync.RWMutex
 	aps     []APMarker
 	devices map[string]DeviceMarker
 	stats   func() any
+	health  func() Health
 	tracer  *trace.Tracer
 }
 
@@ -189,6 +209,22 @@ func (s *State) statsSource() func() any {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.stats
+}
+
+// SetHealthSource installs the provider behind /api/health — typically a
+// closure composing engine.Health with the sniffer card states and the
+// checkpointer. With no source installed the endpoint reports healthy:
+// a pipeline with no health provider has nothing to degrade.
+func (s *State) SetHealthSource(src func() Health) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = src
+}
+
+func (s *State) healthSource() func() Health {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.health
 }
 
 // SetTracer installs the pipeline tracer behind /api/trace (recent-trace
@@ -310,6 +346,18 @@ func NewHandler(state *State, opts HandlerOpts) http.Handler {
 			v = src()
 		}
 		writeJSON(w, v)
+	}))
+	mux.HandleFunc("/api/health", apiGET("/api/health", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: StatusHealthy}
+		if src := state.healthSource(); src != nil {
+			h = src()
+		}
+		if !h.Healthy() {
+			// Headers are frozen at WriteHeader: set the type first.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, h)
 	}))
 	mux.HandleFunc("/api/trace", apiGET("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := state.traceSource()

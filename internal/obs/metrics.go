@@ -33,6 +33,15 @@ var (
 		"marauder_obs_ingest_batch_seconds",
 		"Wall time per batched ingest call, shard lock waits included.",
 		telemetry.LatencyBuckets(), nil)
+	mCkptWrites = telemetry.Default().Counter(
+		"marauder_checkpoint_writes_total",
+		"Observation checkpoints written successfully.", nil)
+	mCkptFailures = telemetry.Default().Counter(
+		"marauder_checkpoint_failures_total",
+		"Observation checkpoint attempts that failed.", nil)
+	mCkptGeneration = telemetry.Default().Gauge(
+		"marauder_checkpoint_generation",
+		"Generation number of the newest written observation checkpoint.", nil)
 )
 
 // shardRecordGauge returns the per-shard record gauge. Like the engine

@@ -101,13 +101,38 @@ func dedupMACs(ms []dot11.MAC) []dot11.MAC {
 	return ms[:uniq]
 }
 
-// Load deserializes a store previously written by Save.
+// Load deserializes a store previously written by Save, using the default
+// shard count.
 func Load(r io.Reader) (*Store, error) {
+	return LoadShards(r, DefaultShardCount())
+}
+
+// LoadShards deserializes a store previously written by Save into a store
+// with the given shard count, so recovered stores can match a -shards
+// override. Snapshots with duplicate seen or probing entries are rejected:
+// a canonical Save never produces them, so a duplicate means the snapshot
+// was corrupted or hand-edited, and silently keeping one of the two
+// conflicting entries would hide the damage.
+func LoadShards(r io.Reader, shards int) (*Store, error) {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("obs: load: %w", err)
 	}
-	s := NewStore()
+	seenMACs := make(map[dot11.MAC]int, len(snap.Seen))
+	for i, e := range snap.Seen {
+		if j, dup := seenMACs[e.MAC]; dup {
+			return nil, fmt.Errorf("obs: load: duplicate seen entry for %s at index %d (first at index %d)", e.MAC, i, j)
+		}
+		seenMACs[e.MAC] = i
+	}
+	probingMACs := make(map[dot11.MAC]int, len(snap.Probing))
+	for i, m := range snap.Probing {
+		if j, dup := probingMACs[m]; dup {
+			return nil, fmt.Errorf("obs: load: duplicate probing entry for %s at index %d (first at index %d)", m, i, j)
+		}
+		probingMACs[m] = i
+	}
+	s := NewStoreShards(shards)
 	// Rebuild the per-device window indexes shard by shard, without the
 	// seen/AP side effects of live ingest: the snapshot's own sets are
 	// authoritative and applied below.

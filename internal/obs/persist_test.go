@@ -65,6 +65,52 @@ func TestLoadGarbage(t *testing.T) {
 	}
 }
 
+func TestLoadRejectsDuplicateEntries(t *testing.T) {
+	cases := []struct {
+		name, snap, wantErr string
+	}{
+		{
+			"duplicate seen",
+			`{"records":[],"seen":[{"mac":[0,0,0,0,0,1],"first":1},{"mac":[0,0,0,0,0,2],"first":2},{"mac":[0,0,0,0,0,1],"first":3}],"probing":[],"aps":[]}`,
+			"duplicate seen entry for 00:00:00:00:00:01 at index 2 (first at index 0)",
+		},
+		{
+			"duplicate probing",
+			`{"records":[],"seen":[],"probing":[[0,0,0,0,0,5],[0,0,0,0,0,5]],"aps":[]}`,
+			"duplicate probing entry for 00:00:00:00:00:05 at index 1 (first at index 0)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.snap))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadShardsRespectsCount(t *testing.T) {
+	s := NewStore()
+	for i := byte(0); i < 8; i++ {
+		s.Ingest(float64(i), dot11.NewProbeResponse(mac(0xA0+i), mac(i), "", 1, 1), true)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadShards(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ShardCount() != 2 {
+		t.Errorf("shard count = %d, want 2", got.ShardCount())
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("record count %d != %d after re-sharded load", got.Len(), s.Len())
+	}
+}
+
 func TestSaveDeterministic(t *testing.T) {
 	s := NewStore()
 	for i := byte(0); i < 5; i++ {

@@ -1,0 +1,314 @@
+package sniffer
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/pcap"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// mustPlan arms a fault plan or fails the test.
+func mustPlan(t *testing.T, cfg faults.Config) *faults.Plan {
+	t.Helper()
+	p, err := faults.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeadCardBlindsChannel(t *testing.T) {
+	plan := mustPlan(t, faults.Config{Cards: []faults.CardFault{
+		{Channel: 6, Mode: faults.CardDead},
+	}})
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA(), Faults: plan})
+	healthy := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+
+	ev := probeEventAt(geom.Pt(100, 0), 6)
+	if _, ok := healthy.TryCapture(ev); !ok {
+		t.Fatal("healthy sniffer must capture the on-channel frame")
+	}
+	if _, ok := s.TryCapture(ev); ok {
+		t.Fatal("a dead channel-6 card must not decode a channel-6 frame")
+	}
+	if got := plan.Counters().CardRejects; got != 1 {
+		t.Errorf("CardRejects = %d, want 1 (the loss must be accounted)", got)
+	}
+	// Other channels keep decoding: degraded mode, not an outage.
+	if _, ok := s.TryCapture(probeEventAt(geom.Pt(100, 0), 11)); !ok {
+		t.Fatal("channel 11 must still decode with channel 6 dead")
+	}
+}
+
+func TestFlappingCardComesAndGoes(t *testing.T) {
+	plan := mustPlan(t, faults.Config{Cards: []faults.CardFault{
+		{Channel: 6, Mode: faults.CardFlapping, PeriodSec: 10, DownFraction: 0.5},
+	}})
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA(), Faults: plan})
+	down := probeEventAt(geom.Pt(100, 0), 6)
+	down.TimeSec = 2 // first half of the period: down
+	up := probeEventAt(geom.Pt(100, 0), 6)
+	up.TimeSec = 7 // second half: up
+	if _, ok := s.TryCapture(down); ok {
+		t.Error("flapping card should be down at t=2")
+	}
+	c, ok := s.TryCapture(up)
+	if !ok {
+		t.Fatal("flapping card should be up at t=7")
+	}
+	// The capture records the card set that was live at its timestamp.
+	idx := -1
+	for i, ch := range dot11.DefaultPlan().Cards {
+		if ch == 6 {
+			idx = i
+		}
+	}
+	if idx < 0 || c.LiveMask&(1<<idx) == 0 {
+		t.Errorf("LiveMask %b should have the channel-6 card live at t=7", c.LiveMask)
+	}
+}
+
+func TestDegradedCardLosesMarginalFrames(t *testing.T) {
+	plan := mustPlan(t, faults.Config{Cards: []faults.CardFault{
+		{Channel: 6, Mode: faults.CardDegraded, PenaltyDB: 60},
+	}})
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA(), Faults: plan})
+	// A frame the healthy chain decodes comfortably is lost under a 60 dB
+	// sensitivity hit, and the loss is attributed to the fault.
+	if _, ok := s.TryCapture(probeEventAt(geom.Pt(200, 0), 6)); ok {
+		t.Fatal("60 dB degraded card should lose a 200 m frame")
+	}
+	if got := plan.Counters().CardRejects; got != 1 {
+		t.Errorf("CardRejects = %d, want 1", got)
+	}
+}
+
+func TestCardHealthAndGauges(t *testing.T) {
+	plan := mustPlan(t, faults.Config{Cards: []faults.CardFault{
+		{Channel: 1, Mode: faults.CardDead, FromSec: 10},
+		{Channel: 11, Mode: faults.CardDegraded, PenaltyDB: 6},
+	}})
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA(), Faults: plan})
+	byCh := func(hs []CardHealth, ch int) CardHealth {
+		for _, h := range hs {
+			if h.Channel == ch {
+				return h
+			}
+		}
+		t.Fatalf("channel %d missing from health report", ch)
+		return CardHealth{}
+	}
+	early := s.UpdateHealthMetrics(0)
+	if !byCh(early, 1).Up {
+		t.Error("channel 1 should be up before its fault window")
+	}
+	late := s.UpdateHealthMetrics(20)
+	if byCh(late, 1).Up {
+		t.Error("channel 1 should be down at t=20")
+	}
+	if h := byCh(late, 11); !h.Up || h.PenaltyDB != 6 {
+		t.Errorf("channel 11 health = %+v, want up with 6 dB penalty", h)
+	}
+}
+
+func TestInjectorAccountsEveryFault(t *testing.T) {
+	plan := mustPlan(t, faults.Config{
+		Seed: 9, DropProb: 0.2, CorruptProb: 0.2, DupProb: 0.2, DelayProb: 0.3, ReorderProb: 0.3,
+	})
+	fi := &FaultInjector{Plan: plan}
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	var delivered []Capture
+	total := 0
+	for batchNo := 0; batchNo < 40; batchNo++ {
+		var batch []Capture
+		for i := 0; i < 20; i++ {
+			ev := probeEventAt(geom.Pt(50, 0), 6)
+			ev.TimeSec = float64(batchNo*20 + i)
+			c, ok := s.TryCapture(ev)
+			if !ok {
+				t.Fatal("50 m frame must capture")
+			}
+			batch = append(batch, c)
+			total++
+		}
+		delivered = append(delivered, fi.Apply(batch)...)
+	}
+	delivered = append(delivered, fi.Drain()...)
+	if fi.Held() != 0 {
+		t.Fatal("Drain must flush the held batch")
+	}
+	c := plan.Counters()
+	wantDelivered := total - int(c.Dropped) + int(c.Duplicated)
+	if len(delivered) != wantDelivered {
+		t.Fatalf("delivered %d, want %d (total %d - dropped %d + duplicated %d)",
+			len(delivered), wantDelivered, total, c.Dropped, c.Duplicated)
+	}
+	corrupt := 0
+	for _, d := range delivered {
+		if d.Frame == nil {
+			if len(d.Raw) == 0 {
+				t.Fatal("corrupted capture lost its raw bytes")
+			}
+			corrupt++
+		}
+	}
+	if corrupt != int(c.Corrupted) {
+		t.Fatalf("delivered %d corrupt captures, plan injected %d", corrupt, c.Corrupted)
+	}
+	if c.Dropped == 0 || c.Corrupted == 0 || c.Duplicated == 0 || c.DelayedBatches == 0 {
+		t.Fatalf("aggressive probabilities should exercise every fault: %+v", c)
+	}
+}
+
+func TestInjectorNilAndDisabledPassThrough(t *testing.T) {
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	c, ok := s.TryCapture(probeEventAt(geom.Pt(50, 0), 6))
+	if !ok {
+		t.Fatal("capture failed")
+	}
+	batch := []Capture{c}
+	var nilInjector *FaultInjector
+	if got := nilInjector.Apply(batch); len(got) != 1 {
+		t.Error("nil injector must pass batches through")
+	}
+	disabled := &FaultInjector{}
+	if got := disabled.Apply(batch); len(got) != 1 {
+		t.Error("plan-less injector must pass batches through")
+	}
+}
+
+// TestWritePcapHeaderFirst is the regression test for the header-after-
+// packets bug: the global header must be the first 24 bytes on the wire
+// so standard tools can stream-read the capture incrementally.
+func TestWritePcapHeaderFirst(t *testing.T) {
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	var caps []Capture
+	for i := 0; i < 5; i++ {
+		ev := probeEventAt(geom.Pt(50, 0), 6)
+		ev.TimeSec = float64(i)
+		c, ok := s.TryCapture(ev)
+		if !ok {
+			t.Fatal("capture failed")
+		}
+		caps = append(caps, c)
+	}
+	var buf bytes.Buffer
+	if err := s.WritePcap(&buf, time.Unix(0, 0), caps); err != nil {
+		t.Fatal(err)
+	}
+	// Stream-read the bytes incrementally: header first, then packet by
+	// packet, never needing the whole file.
+	pr, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("header is not readable up front: %v", err)
+	}
+	if pr.LinkType() != pcap.LinkTypeIEEE80211 {
+		t.Errorf("link type = %d, want %d", pr.LinkType(), pcap.LinkTypeIEEE80211)
+	}
+	for i := 0; i < len(caps); i++ {
+		if _, err := pr.Next(); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+	if _, err := pr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF after %d packets, got %v", len(caps), err)
+	}
+	// A truncated prefix (header + first packet only) must still yield
+	// that first packet — the stream-readability the bug broke.
+	first := buf.Bytes()[:24+16+len(mustEncode(t, caps[0]))]
+	pr2, err := pcap.NewReader(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr2.Next(); err != nil {
+		t.Fatalf("prefix read: %v", err)
+	}
+}
+
+func mustEncode(t *testing.T, c Capture) []byte {
+	t.Helper()
+	raw, err := c.Frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestReadPcapKeepsUndecodableAsRaw(t *testing.T) {
+	s := New(Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()})
+	c, ok := s.TryCapture(probeEventAt(geom.Pt(50, 0), 6))
+	if !ok {
+		t.Fatal("capture failed")
+	}
+	var buf bytes.Buffer
+	pw := pcap.NewWriter(&buf, pcap.LinkTypeIEEE80211)
+	good := mustEncode(t, c)
+	bad := append([]byte(nil), good...)
+	bad[4] ^= 0x01 // break the FCS
+	if err := pw.WritePacket(pcap.Packet{Time: time.Unix(1, 0), Data: good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.WritePacket(pcap.Packet{Time: time.Unix(2, 0), Data: bad}); err != nil {
+		t.Fatal(err)
+	}
+	caps, err := ReadPcap(&buf, time.Unix(0, 0))
+	if err != nil {
+		t.Fatalf("a corrupt packet must not fail the whole read: %v", err)
+	}
+	if len(caps) != 2 {
+		t.Fatalf("read %d captures, want 2", len(caps))
+	}
+	if caps[0].Frame == nil {
+		t.Error("good packet lost its frame")
+	}
+	if caps[1].Frame != nil || len(caps[1].Raw) == 0 {
+		t.Error("corrupt packet should come back frame-less with raw bytes")
+	}
+}
+
+func TestFleetPartialFailureUnion(t *testing.T) {
+	// Two sites far apart; a third dead site in the middle. The fleet with
+	// the dead member must produce exactly the union of the live members'
+	// captures, best-SNR tie-breaking unchanged.
+	cfgA := Config{Pos: geom.Pt(0, 0), Chain: rf.ChainLNA()}
+	cfgB := Config{Pos: geom.Pt(2000, 0), Chain: rf.ChainLNA()}
+	cfgDead := Config{Pos: geom.Pt(1000, 0), Chain: rf.ChainLNA()}
+	fleet := NewFleet(cfgA, cfgDead, cfgB)
+	fleet.SetMemberUp(1, false)
+	if fleet.LiveMembers() != 2 || fleet.MemberUp(1) {
+		t.Fatalf("live members = %d, member 1 up = %v", fleet.LiveMembers(), fleet.MemberUp(1))
+	}
+	liveOnly := NewFleet(cfgA, cfgB)
+
+	var events []sim.TxEvent
+	for i, x := range []float64{100, 450, 1000, 1600, 2100} {
+		ev := probeEventAt(geom.Pt(x, 0), 6)
+		ev.TimeSec = float64(i)
+		events = append(events, ev)
+	}
+	got := fleet.CaptureAll(events)
+	want := liveOnly.CaptureAll(events)
+	if len(got) != len(want) {
+		t.Fatalf("degraded fleet captured %d, union of live members %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].TimeSec != want[i].TimeSec || got[i].SNRDB != want[i].SNRDB {
+			t.Errorf("capture %d: degraded fleet kept (t=%v snr=%v), want (t=%v snr=%v)",
+				i, got[i].TimeSec, got[i].SNRDB, want[i].TimeSec, want[i].SNRDB)
+		}
+	}
+	// The frame next to the dead site is lost only if no live site covers
+	// it; recovery brings the member — and its coverage — back.
+	fleet.SetMemberUp(1, true)
+	if recovered := fleet.CaptureAll(events); len(recovered) < len(got) {
+		t.Error("restoring the member must not shrink coverage")
+	}
+}

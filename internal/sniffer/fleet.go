@@ -2,6 +2,7 @@ package sniffer
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/rf"
 	"repro/internal/sim"
@@ -12,13 +13,22 @@ import (
 // cannot cover the whole target area. Every member sees the same event
 // stream; a frame is captured once if any member decodes it, keeping the
 // best-SNR copy.
+//
+// Members can fail mid-run: SetMemberUp marks a site down (a crashed
+// capture host, a severed backhaul) and the fleet keeps producing the
+// union of its live members' captures. Health flags are atomic, so a
+// monitor goroutine may flip them while the capture loop runs.
 type Fleet struct {
 	members []*Sniffer
+	down    []atomic.Bool // down[i] set means members[i] is offline
 }
 
 // NewFleet builds a fleet from sniffer configurations.
 func NewFleet(configs ...Config) *Fleet {
-	f := &Fleet{members: make([]*Sniffer, 0, len(configs))}
+	f := &Fleet{
+		members: make([]*Sniffer, 0, len(configs)),
+		down:    make([]atomic.Bool, len(configs)),
+	}
 	for _, cfg := range configs {
 		f.members = append(f.members, New(cfg))
 	}
@@ -28,12 +38,40 @@ func NewFleet(configs ...Config) *Fleet {
 // Members returns the fleet's sniffer count.
 func (f *Fleet) Members() int { return len(f.members) }
 
-// TryCapture reports whether any fleet member decodes the event; the
-// best-SNR capture wins.
+// SetMemberUp marks member i online (true) or offline (false). Out-of-
+// range indices are ignored.
+func (f *Fleet) SetMemberUp(i int, up bool) {
+	if i < 0 || i >= len(f.down) {
+		return
+	}
+	f.down[i].Store(!up)
+}
+
+// MemberUp reports whether member i is online.
+func (f *Fleet) MemberUp(i int) bool {
+	return i >= 0 && i < len(f.down) && !f.down[i].Load()
+}
+
+// LiveMembers counts the members currently online.
+func (f *Fleet) LiveMembers() int {
+	n := 0
+	for i := range f.down {
+		if !f.down[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// TryCapture reports whether any live fleet member decodes the event; the
+// best-SNR capture wins. Offline members decode nothing.
 func (f *Fleet) TryCapture(ev sim.TxEvent) (Capture, bool) {
 	var best Capture
 	ok := false
-	for _, s := range f.members {
+	for i, s := range f.members {
+		if f.down[i].Load() {
+			continue
+		}
 		c, captured := s.TryCapture(ev)
 		if !captured {
 			continue

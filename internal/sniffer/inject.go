@@ -1,0 +1,96 @@
+package sniffer
+
+import (
+	"repro/internal/faults"
+)
+
+// FaultInjector applies a fault plan's delivery-path perturbations to
+// capture batches on their way from the sniffer to the engine: per-frame
+// drop/corruption/duplication, per-frame clock skew and jitter, per-batch
+// reordering, and per-batch delay (a delayed batch is held and delivered
+// together with the next one — call Drain at end of run to flush the last
+// held batch).
+//
+// The injector sits between CaptureAllInto and engine.IngestCaptures, so
+// card-level faults (which the sniffer itself models) and delivery-level
+// faults compose the way they do in a real receiver chain. It is not safe
+// for concurrent use; each capture loop owns one injector, matching the
+// single-goroutine delivery path of cmd/marauder and cmd/replay.
+type FaultInjector struct {
+	// Plan is the armed fault plan; nil makes Apply a pass-through.
+	Plan *faults.Plan
+
+	held []Capture // delayed batch awaiting the next delivery
+}
+
+// Apply perturbs one capture batch and returns what actually gets
+// delivered now: the previously held batch (if any) plus this batch's
+// surviving frames, possibly reordered — or nothing, when the plan delays
+// the whole delivery.
+func (fi *FaultInjector) Apply(batch []Capture) []Capture {
+	if fi == nil || !fi.Plan.Enabled() {
+		return batch
+	}
+	out := fi.held
+	fi.held = nil
+	for _, c := range batch {
+		c.TimeSec = fi.Plan.PerturbTime(c.TimeSec)
+		switch fi.Plan.FrameOutcome() {
+		case faults.Drop:
+			continue
+		case faults.Corrupt:
+			out = append(out, corruptCapture(fi.Plan, c))
+		case faults.Duplicate:
+			out = append(out, c, c)
+		default:
+			out = append(out, c)
+		}
+	}
+	if perm, ok := fi.Plan.ShuffleBatch(len(out)); ok {
+		shuffled := make([]Capture, len(out))
+		for i, j := range perm {
+			shuffled[i] = out[j]
+		}
+		out = shuffled
+	}
+	if len(out) > 0 && fi.Plan.DelayBatch() {
+		fi.held = out
+		return nil
+	}
+	return out
+}
+
+// Drain returns any still-held delayed batch; the capture loop calls it
+// once after the last Apply so a delayed batch is late, never lost.
+func (fi *FaultInjector) Drain() []Capture {
+	if fi == nil {
+		return nil
+	}
+	out := fi.held
+	fi.held = nil
+	return out
+}
+
+// Held reports how many captures are currently delayed.
+func (fi *FaultInjector) Held() int {
+	if fi == nil {
+		return 0
+	}
+	return len(fi.held)
+}
+
+// corruptCapture mangles a capture the way RF corruption does: the
+// encoded frame takes bit flips, which break the FCS, so the capture
+// keeps only raw bytes and loses its decoded frame. The engine quarantines
+// such captures instead of ingesting or silently dropping them.
+func corruptCapture(p *faults.Plan, c Capture) Capture {
+	if c.Frame != nil {
+		if raw, err := c.Frame.Encode(); err == nil {
+			c.Raw = p.CorruptBytes(raw)
+		}
+	} else if len(c.Raw) > 0 {
+		c.Raw = p.CorruptBytes(append([]byte(nil), c.Raw...))
+	}
+	c.Frame = nil
+	return c
+}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/dot11"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/pcap"
 	"repro/internal/rf"
@@ -27,7 +29,9 @@ import (
 // Process-wide capture metrics: how much of the air the sniffer actually
 // decodes. A dropped frame is one no monitoring card could decode — the
 // link budget didn't close or no card sat near the transmit channel — and
-// is otherwise invisible: it never reaches the observation store.
+// is otherwise invisible: it never reaches the observation store. A
+// card-down loss is the subset of drops a fault plan caused: a card that
+// would have decoded the frame was dead, flapping or too degraded.
 var (
 	mCaptured = telemetry.Default().Counter(
 		"marauder_sniffer_frames_captured_total",
@@ -35,7 +39,18 @@ var (
 	mDropped = telemetry.Default().Counter(
 		"marauder_sniffer_frames_dropped_total",
 		"Transmitted frames no monitoring card could decode.", nil)
+	mLostCardDown = telemetry.Default().Counter(
+		"marauder_sniffer_frames_lost_card_down_total",
+		"Frames lost because the only capable monitoring card was faulted.", nil)
 )
+
+// cardUpGauge is the per-channel card health gauge, 1 up / 0 down.
+func cardUpGauge(channel int) *telemetry.Gauge {
+	return telemetry.Default().Gauge(
+		"marauder_card_up",
+		"Monitoring card health by channel: 1 up, 0 down.",
+		telemetry.Labels{"channel": strconv.Itoa(channel)})
+}
 
 // Config configures a sniffer deployment.
 type Config struct {
@@ -49,11 +64,15 @@ type Config struct {
 	Terrain sim.Terrain
 	// PathLoss is the propagation model; nil uses log-distance n=2.8.
 	PathLoss rf.PathLoss
+	// Faults schedules monitoring-card failures (dead, flapping, SNR
+	// degradation) against this sniffer's cards; nil means none.
+	Faults *faults.Plan
 }
 
 // Sniffer captures wireless traffic at a fixed location.
 type Sniffer struct {
-	cfg Config
+	cfg      Config
+	upGauges []*telemetry.Gauge // per plan card, aligned with cfg.Plan.Cards
 }
 
 // New creates a Sniffer, applying defaults for unset optional fields.
@@ -67,15 +86,63 @@ func New(cfg Config) *Sniffer {
 	if len(cfg.Plan.Cards) == 0 {
 		cfg.Plan = dot11.DefaultPlan()
 	}
-	return &Sniffer{cfg: cfg}
+	s := &Sniffer{cfg: cfg, upGauges: make([]*telemetry.Gauge, len(cfg.Plan.Cards))}
+	for i, ch := range cfg.Plan.Cards {
+		s.upGauges[i] = cardUpGauge(ch)
+		s.upGauges[i].Set(1)
+	}
+	return s
+}
+
+// CardHealth is one monitoring card's health at a point in time.
+type CardHealth struct {
+	// Channel is the card's assigned channel.
+	Channel int `json:"channel"`
+	// Up reports whether the card can decode at all.
+	Up bool `json:"up"`
+	// PenaltyDB is the card's current SNR degradation (0 when healthy).
+	PenaltyDB float64 `json:"penaltyDB,omitempty"`
+}
+
+// CardHealth reports every card's health at trace time tSec, in plan
+// order. Without a fault plan every card is up.
+func (s *Sniffer) CardHealth(tSec float64) []CardHealth {
+	out := make([]CardHealth, len(s.cfg.Plan.Cards))
+	for i, ch := range s.cfg.Plan.Cards {
+		out[i] = CardHealth{
+			Channel:   ch,
+			Up:        s.cfg.Faults.CardAlive(ch, tSec),
+			PenaltyDB: s.cfg.Faults.CardPenaltyDB(ch, tSec),
+		}
+	}
+	return out
+}
+
+// UpdateHealthMetrics refreshes the marauder_card_up gauges from the
+// fault plan's schedule at tSec and returns the health it published.
+func (s *Sniffer) UpdateHealthMetrics(tSec float64) []CardHealth {
+	hs := s.CardHealth(tSec)
+	for i, h := range hs {
+		if h.Up {
+			s.upGauges[i].Set(1)
+		} else {
+			s.upGauges[i].Set(0)
+		}
+	}
+	return hs
 }
 
 // Capture is one successfully decoded frame.
 type Capture struct {
 	// TimeSec is the capture time in trace seconds.
 	TimeSec float64
-	// Frame is the decoded frame.
+	// Frame is the decoded frame. A nil Frame with Raw set is a capture
+	// that was corrupted in flight: the engine quarantines it instead of
+	// ingesting it.
 	Frame *dot11.Frame
+	// Raw holds the (possibly corrupted) encoded frame bytes when fault
+	// injection mangled the capture; nil for clean captures.
+	Raw []byte
 	// Channel is the frame's transmit channel.
 	Channel int
 	// CardChannel is the monitoring card that decoded it.
@@ -84,6 +151,12 @@ type Capture struct {
 	SNRDB float64
 	// FromAP marks AP-originated frames.
 	FromAP bool
+	// LiveMask records which of the sniffer's plan cards were live when
+	// this frame was captured: bit i set means Plan.Cards[i] was up. The
+	// card set can change mid-run under a fault plan, and the mask is what
+	// lets a capture be interpreted against the cards that actually heard
+	// the air at its timestamp.
+	LiveMask uint16
 }
 
 // snr computes the frame's SNR at the sniffer including terrain loss and
@@ -98,15 +171,52 @@ func (s *Sniffer) snr(ev sim.TxEvent, cardCh int) float64 {
 
 // TryCapture reports whether the sniffer decodes the event, and on which
 // card with what SNR. When several cards can decode it, the best SNR wins.
+// Under a fault plan dead/flapping cards decode nothing and degraded
+// cards lose SNR; a frame only a faulted card could have decoded is
+// counted as a card-down loss.
 func (s *Sniffer) TryCapture(ev sim.TxEvent) (Capture, bool) {
 	best := Capture{SNRDB: math.Inf(-1)}
 	ok := false
-	for _, cardCh := range s.cfg.Plan.Cards {
-		snr := s.snr(ev, cardCh)
-		if snr <= s.cfg.Chain.Card.SNRMinDB {
+	lostToFault := false
+	var live uint16
+	for i, cardCh := range s.cfg.Plan.Cards {
+		rawSNR := s.snr(ev, cardCh)
+		decodableHealthy := rawSNR > s.cfg.Chain.Card.SNRMinDB &&
+			dot11.DecodableCrossChannel(ev.Channel, cardCh)
+		if s.cfg.Faults == nil {
+			if i < 16 {
+				live |= 1 << i
+			}
+			if !decodableHealthy {
+				continue
+			}
+			if rawSNR > best.SNRDB {
+				best = Capture{
+					TimeSec:     ev.TimeSec,
+					Frame:       ev.Frame,
+					Channel:     ev.Channel,
+					CardChannel: cardCh,
+					SNRDB:       rawSNR,
+					FromAP:      ev.FromAP,
+				}
+				ok = true
+			}
 			continue
 		}
-		if !dot11.DecodableCrossChannel(ev.Channel, cardCh) {
+		if !s.cfg.Faults.CardAlive(cardCh, ev.TimeSec) {
+			if decodableHealthy {
+				lostToFault = true
+			}
+			continue
+		}
+		if i < 16 {
+			live |= 1 << i
+		}
+		snr := rawSNR - s.cfg.Faults.CardPenaltyDB(cardCh, ev.TimeSec)
+		if snr <= s.cfg.Chain.Card.SNRMinDB || !dot11.DecodableCrossChannel(ev.Channel, cardCh) {
+			if decodableHealthy {
+				lostToFault = true
+			}
 			continue
 		}
 		if snr > best.SNRDB {
@@ -122,9 +232,14 @@ func (s *Sniffer) TryCapture(ev sim.TxEvent) (Capture, bool) {
 		}
 	}
 	if ok {
+		best.LiveMask = live
 		mCaptured.Inc()
 	} else {
 		mDropped.Inc()
+		if lostToFault {
+			mLostCardDown.Inc()
+			s.cfg.Faults.RecordCardReject()
+		}
 	}
 	return best, ok
 }
@@ -177,10 +292,27 @@ func (s *Sniffer) writePcap(w io.Writer, start time.Time, caps []Capture, radiot
 		link = LinkTypeRadiotap
 	}
 	pw := pcap.NewWriter(w, link)
+	// Emit the global header before any packet so standard tools (and
+	// pcap.NewReader) can stream-read the output as it is produced; it
+	// also guarantees an empty capture is still a valid pcap file.
+	if err := pw.WriteHeader(); err != nil {
+		return err
+	}
 	for i, c := range caps {
-		raw, err := c.Frame.Encode()
-		if err != nil {
-			return fmt.Errorf("sniffer: encode capture %d: %w", i, err)
+		var raw []byte
+		switch {
+		case c.Frame != nil:
+			var err error
+			raw, err = c.Frame.Encode()
+			if err != nil {
+				return fmt.Errorf("sniffer: encode capture %d: %w", i, err)
+			}
+		case len(c.Raw) > 0:
+			// A corrupted capture is persisted verbatim: the pcap stays a
+			// faithful record of what came off the air, bit flips and all.
+			raw = c.Raw
+		default:
+			return fmt.Errorf("sniffer: capture %d has neither frame nor raw bytes", i)
 		}
 		if radiotap {
 			freq, err := dot11.ChannelFreqHz(c.Channel)
@@ -200,7 +332,7 @@ func (s *Sniffer) writePcap(w io.Writer, start time.Time, caps []Capture, radiot
 			return fmt.Errorf("sniffer: write capture %d: %w", i, err)
 		}
 	}
-	return pw.WriteHeader()
+	return nil
 }
 
 func clampI8(v float64) int8 {
@@ -238,12 +370,15 @@ func ReadPcap(r io.Reader, start time.Time) ([]Capture, error) {
 			c.Channel = rt.Channel()
 			c.SNRDB = float64(rt.SignalDBm) - float64(rt.NoiseDBm)
 		}
-		f, err := dot11.Decode(data)
-		if err != nil {
-			return nil, fmt.Errorf("sniffer: decode packet %d: %w", i, err)
-		}
 		c.TimeSec = p.Time.Sub(start).Seconds()
-		c.Frame = f
+		if f, err := dot11.Decode(data); err == nil {
+			c.Frame = f
+		} else {
+			// An undecodable packet (bad FCS, truncation) must not poison
+			// the replay: keep it as a raw capture so the engine quarantines
+			// and counts it instead of the whole read erroring out.
+			c.Raw = append([]byte(nil), data...)
+		}
 		caps = append(caps, c)
 	}
 	return caps, nil

@@ -1,0 +1,125 @@
+#!/bin/sh
+# chaos-smoke: boot cmd/marauder with the aggressive fault plan and
+# crash-safe checkpointing, kill it with SIGKILL mid-run, restart it on
+# the same checkpoint directory, and assert the restart logs a recovery
+# and /api/health answers. This is the CI gate for "the pipeline survives
+# faults and a hard crash", not just "the fault-injection unit tests
+# pass".
+set -eu
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18643}"
+BIN="$(mktemp -d)/marauder"
+CKPT="$(mktemp -d)"
+LOG1="$(mktemp)"
+LOG2="$(mktemp)"
+OUT="$(mktemp)"
+
+cleanup() {
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    rm -f "$LOG1" "$LOG2" "$OUT"
+    rm -rf "$(dirname "$BIN")" "$CKPT"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/marauder
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# Health probe that tolerates 503: a degraded report is a valid answer
+# here (chaos kills cards on a schedule), an unreachable server is not.
+fetch_health() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sS "http://$ADDR/api/health"
+    else
+        wget -qO- --content-on-error "http://$ADDR/api/health" 2>/dev/null || true
+    fi
+}
+
+# --- First run: chaos + checkpointing, then kill -9. ---
+"$BIN" -addr "$ADDR" -aps 150 -speedup 100 -chaos \
+    -checkpoint-dir "$CKPT" -checkpoint-interval 1s >"$LOG1" 2>&1 &
+PID=$!
+
+# Wait until at least one checkpoint file lands.
+tries=0
+while [ -z "$(ls "$CKPT" 2>/dev/null)" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 60 ]; then
+        echo "chaos-smoke: no checkpoint written within 30s" >&2
+        cat "$LOG1" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "chaos-smoke: marauder exited early" >&2
+        cat "$LOG1" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# /api/health must answer while chaos is active (200 healthy or 503
+# degraded, either way a JSON status).
+fetch_health >"$OUT"
+grep -q '"status"' "$OUT" || {
+    echo "chaos-smoke: /api/health served no status: $(cat "$OUT")" >&2
+    exit 1
+}
+
+# Hard crash: no graceful shutdown, no final checkpoint.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+
+# --- Second run: must recover from the surviving checkpoint. ---
+"$BIN" -addr "$ADDR" -aps 150 -speedup 100 \
+    -checkpoint-dir "$CKPT" -checkpoint-interval 1s >"$LOG2" 2>&1 &
+PID=$!
+
+tries=0
+while ! grep -q "observations restored from checkpoint" "$LOG2"; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 60 ]; then
+        echo "chaos-smoke: restart never logged a checkpoint recovery" >&2
+        cat "$LOG2" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "chaos-smoke: restarted marauder exited early" >&2
+        cat "$LOG2" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# Without -chaos the recovered pipeline reports healthy, with the engine
+# and card detail attached.
+tries=0
+while :; do
+    tries=$((tries + 1))
+    if fetch "http://$ADDR/api/health" >"$OUT" 2>/dev/null \
+        && grep -q '"status":"healthy"' "$OUT"; then
+        break
+    fi
+    if [ "$tries" -ge 60 ]; then
+        echo "chaos-smoke: recovered instance never reported healthy; last answer:" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+# The recovered store is live: /api/stats serves engine stats with
+# observations carried over from before the crash.
+fetch "http://$ADDR/api/stats" >"$OUT"
+grep -q '"engine"' "$OUT" || {
+    echo "chaos-smoke: /api/stats missing engine block" >&2
+    exit 1
+}
+
+echo "chaos-smoke: ok (crash survived, checkpoint recovered, health served)"
