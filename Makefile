@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke fuzz-smoke bench-ingest
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke fuzz-smoke bench-ingest bench-store
 
 all: check
 
@@ -34,6 +34,13 @@ bench-engine:
 bench-ingest:
 	sh scripts/bench_ingest.sh
 
+# AP-store regression gate: grid-indexed Within vs the linear scan at
+# 255/1e5/1e6 APs plus the snapshot/codec and engine-frame benchmarks,
+# recorded into BENCH_6.json. Fails unless the grid holds a >= 50x lead
+# at 1e6 APs.
+bench-store:
+	sh scripts/bench_store.sh
+
 # Short fuzzing burst over every fuzz target: the frame parser, the
 # radiotap splitter, and the sharded store's record ingest. Checked-in
 # corpora under testdata/fuzz replay as plain tests; this keeps mining.
@@ -42,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzDecodeRadiotap$$' -fuzztime=10s ./internal/dot11
 	$(GO) test -run xxx -fuzz 'FuzzFrameParse$$' -fuzztime=10s ./internal/dot11
 	$(GO) test -run xxx -fuzz 'FuzzIngest$$' -fuzztime=10s ./internal/obs
+	$(GO) test -run xxx -fuzz 'FuzzSnapshotCodec$$' -fuzztime=10s ./internal/apdb
 
 fmt:
 	gofmt -l -w .
@@ -66,4 +74,4 @@ chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke chaos-smoke
+check: vet build test race metrics-smoke trace-smoke chaos-smoke bench-store

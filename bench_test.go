@@ -326,17 +326,15 @@ func engineBenchWorld(b *testing.B) (core.Knowledge, *obs.Store) {
 		apRange = 100.0
 		nDevs   = 200
 	)
-	know := make(core.Knowledge, nSide*nSide)
 	aps := make([]core.APInfo, 0, nSide*nSide)
 	for i := 0; i < nSide*nSide; i++ {
 		pos := geom.Pt(
 			float64(i%nSide)*spacing-float64(nSide-1)*spacing/2,
 			float64(i/nSide)*spacing-float64(nSide-1)*spacing/2,
 		)
-		in := core.APInfo{BSSID: sim.NewMAC(0xA9, i), Pos: pos, MaxRange: apRange}
-		know[in.BSSID] = in
-		aps = append(aps, in)
+		aps = append(aps, core.APInfo{BSSID: sim.NewMAC(0xA9, i), Pos: pos, MaxRange: apRange})
 	}
+	know := core.NewKnowledge(aps)
 	store := obs.NewStore()
 	for d := 0; d < nDevs; d++ {
 		dev := sim.NewMAC(0xDD, d)

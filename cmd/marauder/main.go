@@ -125,12 +125,11 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 	case "aprad":
 		// Radii withheld: true AP positions, radii trained from
 		// observations by the engine's RefreshKnowledge.
-		base := make(core.Knowledge, len(know))
-		for m, in := range know {
-			in.MaxRange = 0
-			base[m] = in
+		infos := know.All()
+		for i := range infos {
+			infos[i].MaxRange = 0
 		}
-		return core.APRadLocalizer{Cfg: radCfg}, base, nil
+		return core.APRadLocalizer{Cfg: radCfg}, core.NewKnowledge(infos), nil
 	case "aploc":
 		// Nothing known: wardrive the campus first, estimate AP positions
 		// from the training tuples, then train radii from observations.
@@ -156,7 +155,7 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 		tuples := wardrive.Collector{World: w}.CollectAlong(drive, 6)
 		trained, err := core.EstimateAPLocations(tuples, core.APLocConfig{TrainingRadius: 130})
 		if err != nil {
-			return nil, nil, fmt.Errorf("aploc training: %w", err)
+			return nil, core.Knowledge{}, fmt.Errorf("aploc training: %w", err)
 		}
 		loc := &core.APLocLocalizer{
 			Trained: trained,
@@ -164,7 +163,7 @@ func newLocalizer(algo string, know core.Knowledge, w *sim.World) (core.Localize
 		}
 		return loc, trained, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+		return nil, core.Knowledge{}, fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 
@@ -212,10 +211,11 @@ func buildAttackOpts(o attackOpts) (*attack, error) {
 	}
 	w.AddDevice(victim)
 
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 
 	locate, base, err := newLocalizer(o.Algo, know, w)
 	if err != nil {

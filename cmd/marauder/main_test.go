@@ -99,8 +99,8 @@ func TestRunOnceAPLoc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.baseKnow) < 50 {
-		t.Fatalf("training located only %d APs", len(a.baseKnow))
+	if a.baseKnow.Len() < 50 {
+		t.Fatalf("training located only %d APs", a.baseKnow.Len())
 	}
 	if err := runOnce(a, "aploc"); err != nil {
 		t.Fatal(err)

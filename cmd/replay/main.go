@@ -63,7 +63,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	pcapPath := fs.String("pcap", "", "pcap capture to replay (required)")
-	apsPath := fs.String("aps", "", "AP database CSV (required)")
+	apsPath := fs.String("aps", "", "AP database CSV (required unless -aps-snap is given)")
+	apsSnap := fs.String("aps-snap", "", "binary AP snapshot (apdb format) to load instead of the CSV — no re-ingest")
+	saveApsSnap := fs.String("save-aps-snap", "", "after loading, save the AP database as a binary snapshot here")
 	algo := fs.String("algo", "mloc", "localization algorithm: mloc, centroid, closest or aprad")
 	originLat := fs.Float64("origin-lat", 42.6555, "local-plane origin latitude")
 	originLon := fs.Float64("origin-lon", -71.3254, "local-plane origin longitude")
@@ -98,8 +100,8 @@ func run(args []string) error {
 		slog.Info("estimate tracing on", "component", "replay",
 			"sample_every", tracer.SampleEvery(), "buffer", *traceBuffer)
 	}
-	if *pcapPath == "" || *apsPath == "" {
-		return fmt.Errorf("both -pcap and -aps are required")
+	if *pcapPath == "" || (*apsPath == "" && *apsSnap == "") {
+		return fmt.Errorf("-pcap and one of -aps / -aps-snap are required")
 	}
 	if *metricsAddr != "" {
 		msrv := &http.Server{Addr: *metricsAddr, Handler: telemetry.Mux(telemetry.Default(), *pprofOn)}
@@ -120,14 +122,30 @@ func run(args []string) error {
 		slog.Info("demo artifacts written", "component", "replay", "pcap", *pcapPath, "aps", *apsPath)
 	}
 
-	apsFile, err := os.Open(*apsPath)
-	if err != nil {
-		return err
+	var db *apdb.Store
+	if *apsSnap != "" {
+		var err error
+		db, err = apdb.LoadSnapshotFile(*apsSnap)
+		if err != nil {
+			return err
+		}
+		slog.Info("AP snapshot loaded", "component", "replay", "path", *apsSnap, "aps", db.Len())
+	} else {
+		apsFile, err := os.Open(*apsPath)
+		if err != nil {
+			return err
+		}
+		defer apsFile.Close()
+		db, err = apdb.ImportCSV(apsFile, proj)
+		if err != nil {
+			return err
+		}
 	}
-	defer apsFile.Close()
-	db, err := apdb.ImportCSV(apsFile, proj)
-	if err != nil {
-		return err
+	if *saveApsSnap != "" {
+		if err := db.SaveSnapshotFile(*saveApsSnap); err != nil {
+			return err
+		}
+		slog.Info("AP snapshot saved", "component", "replay", "path", *saveApsSnap, "aps", db.Len())
 	}
 
 	capFile, err := os.Open(*pcapPath)
@@ -140,14 +158,13 @@ func run(args []string) error {
 		return err
 	}
 
-	know := make(core.Knowledge, db.Len())
-	for _, e := range db.All() {
-		r := e.MaxRange
-		if r <= 0 {
-			r = *fallback
+	knowInfos := db.All()
+	for i := range knowInfos {
+		if knowInfos[i].MaxRange <= 0 {
+			knowInfos[i].MaxRange = *fallback
 		}
-		know[e.BSSID] = core.APInfo{BSSID: e.BSSID, Pos: e.Pos, MaxRange: r}
 	}
+	know := core.NewKnowledge(knowInfos)
 
 	var locate core.Localizer
 	switch *algo {
@@ -160,10 +177,11 @@ func run(args []string) error {
 	case "aprad":
 		// Trust only the database's positions; re-estimate radii from the
 		// replayed co-observations.
-		for m, in := range know {
-			in.MaxRange = 0
-			know[m] = in
+		stripped := know.All()
+		for i := range stripped {
+			stripped[i].MaxRange = 0
 		}
+		know = core.NewKnowledge(stripped)
 		locate = core.APRadLocalizer{
 			Cfg: core.APRadConfig{MaxRadius: 2 * *fallback, MaxNeighborConstraints: 12},
 		}
@@ -335,6 +353,11 @@ func generateDemo(pcapPath, apsPath string, proj *geo.Projection) error {
 		return err
 	}
 
+	if apsPath == "" {
+		// Demo replayed against an existing -aps-snap: the capture is
+		// regenerated but the AP database comes from the snapshot.
+		return nil
+	}
 	db := apdb.FromWorld(w, true)
 	af, err := os.Create(apsPath)
 	if err != nil {

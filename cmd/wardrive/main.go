@@ -84,7 +84,7 @@ func run(args []string) error {
 	var sumErr float64
 	located := 0
 	for _, ap := range w.APs {
-		in, ok := know[ap.MAC]
+		in, ok := know.Get(ap.MAC)
 		if !ok {
 			continue
 		}
@@ -98,7 +98,7 @@ func run(args []string) error {
 		return nil
 	}
 	db := apdb.New()
-	for _, in := range know {
+	for _, in := range know.All() {
 		db.Add(apdb.Entry{BSSID: in.BSSID, Pos: in.Pos, MaxRange: in.MaxRange})
 	}
 	f, err := os.Create(*out)

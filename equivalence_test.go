@@ -1,0 +1,177 @@
+package repro
+
+// Refactor-equivalence suite: pins the estimates of all five localization
+// algorithms — M-Loc, AP-Rad, AP-Loc, Centroid, Closest-AP — on the
+// integration-test campus to a golden file generated from the seed
+// implementation. The test is written purely against the APIs that are
+// stable across the AP-store refactor (core.NewKnowledge plus the
+// exported algorithm entry points), so the same source compiles and must
+// produce bit-identical positions before and after the knowledge plane is
+// re-plumbed onto the struct-of-arrays store.
+//
+// Regenerate (only when the *intended* numerics change) with:
+//
+//	UPDATE_EQUIVALENCE_GOLDEN=1 go test -run TestRefactorEquivalence .
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+	"repro/internal/wardrive"
+)
+
+const equivalenceGoldenPath = "testdata/equivalence_golden.json"
+
+// equivFix is one recorded estimate: positions are stored as float64 bit
+// patterns so the comparison is exact, not tolerance-based.
+type equivFix struct {
+	Algo   string `json:"algo"`
+	Window int    `json:"window"`
+	OK     bool   `json:"ok"`
+	XBits  uint64 `json:"xBits,omitempty"`
+	YBits  uint64 `json:"yBits,omitempty"`
+	K      int    `json:"k,omitempty"`
+}
+
+// equivCompute runs the five algorithms over the deterministic campus and
+// returns every fix in a canonical order.
+func equivCompute(t *testing.T) []equivFix {
+	t.Helper()
+	w, victim, route := buildCampus(t)
+
+	events := sim.WalkTrace(w, victim, route.TotalDuration(), 30)
+	sn := sniffer.New(sniffer.Config{
+		Pos:   geom.Pt(0, 0),
+		Chain: rf.ChainLNA(),
+		Plan:  dot11.DefaultPlan(),
+	})
+	caps := sn.CaptureAll(events)
+	if len(caps) == 0 {
+		t.Fatal("nothing captured")
+	}
+	store := obs.NewStore()
+	for _, c := range caps {
+		_, fromAP := w.APByMAC(c.Frame.Addr2)
+		store.Ingest(c.TimeSec, c.Frame, fromAP)
+	}
+
+	withRange := make([]core.APInfo, 0, len(w.APs))
+	noRange := make([]core.APInfo, 0, len(w.APs))
+	for _, ap := range w.APs {
+		withRange = append(withRange, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
+		noRange = append(noRange, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos})
+	}
+	know := core.NewKnowledge(withRange)
+	base := core.NewKnowledge(noRange)
+
+	radCfg := core.APRadConfig{MaxRadius: 160, MaxNeighborConstraints: 12}
+	aprad, _, err := core.EstimateRadii(base, store.DeviceAPSets(), radCfg)
+	if err != nil {
+		t.Fatalf("ap-rad training: %v", err)
+	}
+	tuples := wardrive.Collector{World: w}.CollectAlong(route, 20)
+	located, err := core.EstimateAPLocations(tuples, core.APLocConfig{TrainingRadius: 130})
+	if err != nil {
+		t.Fatalf("ap-loc position training: %v", err)
+	}
+	aploc, _, err := core.EstimateRadii(located, store.DeviceAPSets(), radCfg)
+	if err != nil {
+		t.Fatalf("ap-loc radius training: %v", err)
+	}
+
+	const windowSec = 45.0
+	var fixes []equivFix
+	record := func(algo string, win int, est core.Estimate, err error) {
+		f := equivFix{Algo: algo, Window: win}
+		if err == nil {
+			f.OK = true
+			f.XBits = math.Float64bits(est.Pos.X)
+			f.YBits = math.Float64bits(est.Pos.Y)
+			f.K = est.K
+		}
+		fixes = append(fixes, f)
+	}
+	for i := 0; ; i++ {
+		ts := float64(i) * 60
+		if ts > route.TotalDuration() {
+			break
+		}
+		gamma := store.APSetWindow(victim.MAC, ts-windowSec/2, ts+windowSec/2)
+		if len(gamma) == 0 {
+			continue
+		}
+		est, err := core.MLoc(know, gamma)
+		record("m-loc", i, est, err)
+		est, err = core.CentroidBaseline(know, gamma)
+		record("centroid", i, est, err)
+		est, err = core.ClosestAPBaseline(know, gamma)
+		record("closest-ap", i, est, err)
+		est, _, err = core.MLocInflated(aprad, gamma, 4)
+		record("ap-rad", i, est, err)
+		est, _, err = core.MLocInflated(aploc, gamma, 4)
+		record("ap-loc", i, est, err)
+	}
+	if len(fixes) < 25 {
+		t.Fatalf("only %d fixes computed; the campus walk should yield 5 algos x >=5 windows", len(fixes))
+	}
+	return fixes
+}
+
+// TestRefactorEquivalence asserts every algorithm's estimates are
+// bit-identical to the seed implementation's golden file.
+func TestRefactorEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	got := equivCompute(t)
+	if os.Getenv("UPDATE_EQUIVALENCE_GOLDEN") != "" {
+		buf, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(equivalenceGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(equivalenceGoldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s with %d fixes", equivalenceGoldenPath, len(got))
+		return
+	}
+	buf, err := os.ReadFile(equivalenceGoldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (generate with UPDATE_EQUIVALENCE_GOLDEN=1): %v", err)
+	}
+	var want []equivFix
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fix count %d != golden %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			mismatches++
+			if mismatches <= 10 {
+				t.Errorf("fix %d (%s window %d): got %+v want %+v (gotPos=(%g,%g) wantPos=(%g,%g))",
+					i, want[i].Algo, want[i].Window, got[i], want[i],
+					math.Float64frombits(got[i].XBits), math.Float64frombits(got[i].YBits),
+					math.Float64frombits(want[i].XBits), math.Float64frombits(want[i].YBits))
+			}
+		}
+	}
+	if mismatches > 10 {
+		t.Errorf("... and %d more mismatches", mismatches-10)
+	}
+}

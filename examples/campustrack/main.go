@@ -72,10 +72,11 @@ func run(serveAddr string) error {
 
 	// 4. The localization engine owns the rest of the pipeline: ingest the
 	// captures, keep per-device Γ sets, localize with M-Loc on demand.
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 	eng, err := engine.New(engine.Config{Know: know, WindowSec: 60})
 	if err != nil {
 		return err

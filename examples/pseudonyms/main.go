@@ -79,10 +79,11 @@ func run() error {
 	defended := (privacy.MACRotation{PeriodSec: 120}).Apply(victim.MAC, events, w.RNG())
 
 	// The engine ingests the defended traffic and localizes each identity.
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 	eng, err := engine.New(engine.Config{Know: know, WindowSec: 45})
 	if err != nil {
 		return err

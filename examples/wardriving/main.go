@@ -74,7 +74,7 @@ func run() error {
 	var apErr float64
 	n := 0
 	for _, ap := range w.APs {
-		if in, ok := know[ap.MAC]; ok {
+		if in, ok := know.Get(ap.MAC); ok {
 			apErr += in.Pos.Dist(ap.Pos)
 			n++
 		}

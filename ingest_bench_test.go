@@ -98,13 +98,14 @@ func BenchmarkSnapshotWhileIngest(b *testing.B) {
 		{"sharded-batched", 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			know := make(core.Knowledge, 64)
+			infos := make([]core.APInfo, 0, 64)
 			for i := 0; i < 64; i++ {
 				m := sim.NewMAC(0xA9, i)
-				know[m] = core.APInfo{
+				infos = append(infos, core.APInfo{
 					BSSID: m, Pos: geom.Pt(float64(i%8)*60, float64(i/8)*60), MaxRange: 150,
-				}
+				})
 			}
+			know := core.NewKnowledge(infos)
 			store := obs.NewStoreShards(bc.shards)
 			eng, err := engine.New(engine.Config{
 				Know: know, Store: store, WindowSec: 60, CacheSize: -1,

@@ -107,10 +107,7 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	know := make(core.Knowledge, db.Len())
-	for _, e := range db.All() {
-		know[e.BSSID] = core.APInfo{BSSID: e.BSSID, Pos: e.Pos, MaxRange: e.MaxRange}
-	}
+	know := core.KnowledgeFromStore(db)
 
 	// 4. Hand the late-arriving knowledge to the engine (invalidating its
 	// Γ cache) and track with M-Loc; errors must be campus-attack grade.
@@ -128,11 +125,11 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 	}
 
 	// 5. AP-Rad from the same observations (radii withheld).
-	noRadii := make(core.Knowledge, len(know))
-	for m, in := range know {
-		in.MaxRange = 0
-		noRadii[m] = in
+	stripped := know.All()
+	for i := range stripped {
+		stripped[i].MaxRange = 0
 	}
+	noRadii := core.NewKnowledge(stripped)
 	est, _, err := core.EstimateRadii(noRadii, store.DeviceAPSets(),
 		core.APRadConfig{MaxRadius: 160, MaxNeighborConstraints: 12})
 	if err != nil {
@@ -154,8 +151,8 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trained) < 50 {
-		t.Errorf("training located only %d APs", len(trained))
+	if trained.Len() < 50 {
+		t.Errorf("training located only %d APs", trained.Len())
 	}
 
 	// 7. Publish one engine snapshot frame to the map display. The frame
@@ -174,7 +171,7 @@ func TestEndToEndAttackPipeline(t *testing.T) {
 	})
 	// The handler is exercised in mapserver's own tests; here we assert
 	// the state accepted the pipeline's outputs without loss.
-	if got := len(know); got != db.Len() {
+	if got := know.Len(); got != db.Len() {
 		t.Errorf("knowledge size %d != db size %d", got, db.Len())
 	}
 	if st := eng.Stats(); st.Fixes == 0 {

@@ -1,17 +1,30 @@
-// Package apdb is the AP knowledge base of the digital Marauder's map —
-// the role WiGLE plays in the paper: a database of known access points with
-// SSID, BSSID and location, and (when measured) maximum transmission
-// distance. It supports CSV import/export in a WiGLE-like schema and
-// simple spatial queries.
+// Package apdb is the AP knowledge plane of the digital Marauder's map —
+// the role WiGLE plays in the paper: a database of known access points
+// with SSID, BSSID, location, and (when measured) maximum transmission
+// distance.
+//
+// The working representation is a struct-of-arrays Store: packed 6-byte
+// BSSIDs, separate position and range slices, and a BSSID→slot index.
+// Readers never block ingest: queries run against immutable copy-on-write
+// Snapshots published on demand, each carrying a process-unique epoch and
+// a lazily built uniform-grid spatial index whose cell size is derived
+// from the AP density. core.Knowledge and the engine's Γ-cache are views
+// over these snapshots; snapshot epochs are the knowledge generations.
+//
+// The store round-trips through a WiGLE-like CSV schema and through a
+// versioned, SHA-256-checksummed binary snapshot format (persist.go) so a
+// city-scale database loads without CSV re-ingest.
 package apdb
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dot11"
 	"repro/internal/geo"
@@ -19,10 +32,12 @@ import (
 	"repro/internal/sim"
 )
 
-// Entry is one known access point.
+// Entry is one known access point — the element view over the store's
+// struct-of-arrays layout. core.APInfo is an alias of this type: the
+// repo-wide single AP representation.
 type Entry struct {
 	BSSID dot11.MAC `json:"bssid"`
-	SSID  string    `json:"ssid"`
+	SSID  string    `json:"ssid,omitempty"`
 	// Pos is the AP location in the attack's local plane (metres).
 	Pos geom.Point `json:"pos"`
 	// MaxRange is the measured maximum transmission distance in metres;
@@ -40,83 +55,194 @@ func (e Entry) Disc(fallbackRange float64) geom.Circle {
 	return geom.Circle{C: e.Pos, R: r}
 }
 
-// DB is a thread-safe AP database.
-type DB struct {
-	mu      sync.RWMutex
-	entries map[dot11.MAC]Entry
+// epochCounter hands out process-unique snapshot epochs: any two distinct
+// published snapshots — even from different stores — have distinct
+// epochs, so an epoch comparison alone decides "did the knowledge base
+// change" (exact Γ-cache invalidation).
+var epochCounter atomic.Uint64
+
+// Store is the thread-safe AP knowledge store. Mutations (Add, AddBatch)
+// touch only the builder arrays under the lock; queries go through the
+// immutable Snapshot published on first use after a mutation, so readers
+// never block ingest.
+type Store struct {
+	mu sync.RWMutex
+	// Builder state: struct-of-arrays, insertion order, unique BSSIDs
+	// (slot maps each BSSID to its array index; Add replaces in place).
+	bssid []byte // packed 6-byte BSSIDs, len 6·n
+	ssid  []string
+	pos   []geom.Point
+	rng   []float64
+	slot  map[dot11.MAC]int32
+
+	dirty atomic.Bool
+	snap  atomic.Pointer[Snapshot]
 }
 
-// New creates an empty DB.
-func New() *DB {
-	return &DB{entries: make(map[dot11.MAC]Entry)}
+// DB is the store's historical name, kept as an alias so older call sites
+// keep compiling. New code should say Store.
+type DB = Store
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{slot: make(map[dot11.MAC]int32)}
+}
+
+// FromEntries builds a store holding the given entries (later duplicates
+// replace earlier ones, like repeated Add).
+func FromEntries(entries []Entry) *Store {
+	s := New()
+	s.AddBatch(entries)
+	return s
 }
 
 // Add inserts or replaces an entry.
-func (db *DB) Add(e Entry) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.entries[e.BSSID] = e
+func (s *Store) Add(e Entry) {
+	s.mu.Lock()
+	s.add(e)
+	s.dirty.Store(true)
+	s.mu.Unlock()
 }
 
-// Get returns the entry for a BSSID.
-func (db *DB) Get(bssid dot11.MAC) (Entry, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	e, ok := db.entries[bssid]
-	return e, ok
+// AddBatch inserts or replaces many entries under one lock acquisition.
+func (s *Store) AddBatch(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, e := range entries {
+		s.add(e)
+	}
+	s.dirty.Store(true)
+	s.mu.Unlock()
+}
+
+// add is the single-entry write path; callers hold s.mu.
+func (s *Store) add(e Entry) {
+	if i, ok := s.slot[e.BSSID]; ok {
+		s.ssid[i] = e.SSID
+		s.pos[i] = e.Pos
+		s.rng[i] = e.MaxRange
+		return
+	}
+	i := int32(len(s.rng))
+	s.slot[e.BSSID] = i
+	s.bssid = append(s.bssid, e.BSSID[:]...)
+	s.ssid = append(s.ssid, e.SSID)
+	s.pos = append(s.pos, e.Pos)
+	s.rng = append(s.rng, e.MaxRange)
+}
+
+// Get returns the entry for a BSSID, including entries not yet published
+// in a snapshot.
+func (s *Store) Get(bssid dot11.MAC) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.slot[bssid]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entryAt(int(i)), true
+}
+
+// entryAt materializes the builder entry at slot i; callers hold s.mu.
+func (s *Store) entryAt(i int) Entry {
+	var m dot11.MAC
+	copy(m[:], s.bssid[i*6:])
+	return Entry{BSSID: m, SSID: s.ssid[i], Pos: s.pos[i], MaxRange: s.rng[i]}
 }
 
 // Len returns the number of entries.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.entries)
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rng)
 }
 
-// All returns every entry sorted by BSSID.
-func (db *DB) All() []Entry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]Entry, 0, len(db.entries))
-	for _, e := range db.entries {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].BSSID, out[j].BSSID
-		for k := 0; k < 6; k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
+// Snapshot publishes and returns the current immutable snapshot. When the
+// store is unchanged since the last call the cached snapshot is returned
+// with no allocation; after a mutation the builder arrays are re-sorted
+// by BSSID into a fresh snapshot carrying a new epoch (O(n log n),
+// amortized over the mutation batch). The returned snapshot never
+// changes: later Adds publish a successor instead of touching it.
+func (s *Store) Snapshot() *Snapshot {
+	if !s.dirty.Load() {
+		if sn := s.snap.Load(); sn != nil {
+			return sn
 		}
-		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn := s.snap.Load(); sn != nil && !s.dirty.Load() {
+		return sn
+	}
+	n := len(s.rng)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		return bytes.Compare(s.bssid[i*6:i*6+6], s.bssid[j*6:j*6+6]) < 0
 	})
-	return out
+	sn := &Snapshot{
+		epoch: epochCounter.Add(1),
+		bssid: make([]byte, 6*n),
+		ssid:  make([]string, n),
+		pos:   make([]geom.Point, n),
+		rng:   make([]float64, n),
+	}
+	for out, in := range perm {
+		copy(sn.bssid[out*6:], s.bssid[in*6:in*6+6])
+		sn.ssid[out] = s.ssid[in]
+		sn.pos[out] = s.pos[in]
+		sn.rng[out] = s.rng[in]
+	}
+	s.snap.Store(sn)
+	s.dirty.Store(false)
+	return sn
 }
 
-// Within returns the entries within dist metres of p.
-func (db *DB) Within(p geom.Point, dist float64) []Entry {
-	var out []Entry
-	for _, e := range db.All() {
-		if e.Pos.Dist(p) <= dist {
-			out = append(out, e)
-		}
-	}
-	return out
+// All returns every entry sorted by BSSID (a fresh slice; the caller may
+// mutate it).
+func (s *Store) All() []Entry {
+	return s.Snapshot().All()
+}
+
+// Within returns the entries within dist metres of p, answered by the
+// snapshot's spatial index (no per-call sort, sublinear in the store
+// size).
+func (s *Store) Within(p geom.Point, dist float64) []Entry {
+	return s.Snapshot().Within(p, dist)
+}
+
+// Nearest returns the entry closest to p; ok is false for an empty store.
+func (s *Store) Nearest(p geom.Point) (Entry, bool) {
+	return s.Snapshot().Nearest(p)
+}
+
+// CandidatesFor returns the coverage discs of the Γ members present in
+// the store — the M-Loc/AP-Rad candidate-disc lookup — via the current
+// snapshot. See Snapshot.CandidatesFor.
+func (s *Store) CandidatesFor(gamma []dot11.MAC, fallbackRange float64) []geom.Circle {
+	return s.Snapshot().CandidatesFor(nil, gamma, fallbackRange)
 }
 
 // FromWorld snapshots a simulated world's APs as external knowledge:
 // includeRange=true models the paper's M-Loc setting (locations and
 // measured radii known), false the AP-Rad setting (WiGLE locations only).
-func FromWorld(w *sim.World, includeRange bool) *DB {
-	db := New()
+func FromWorld(w *sim.World, includeRange bool) *Store {
+	s := New()
+	entries := make([]Entry, 0, len(w.APs))
 	for _, ap := range w.APs {
 		e := Entry{BSSID: ap.MAC, SSID: ap.SSID, Pos: ap.Pos}
 		if includeRange {
 			e.MaxRange = ap.MaxRange
 		}
-		db.Add(e)
+		entries = append(entries, e)
 	}
-	return db
+	s.AddBatch(entries)
+	return s
 }
 
 // csvHeader is the WiGLE-like export schema.
@@ -124,12 +250,14 @@ var csvHeader = []string{"bssid", "ssid", "lat", "lon", "range_m"}
 
 // ExportCSV writes the database as CSV with geodetic coordinates derived
 // from the projection.
-func (db *DB) ExportCSV(w io.Writer, proj *geo.Projection) error {
+func (s *Store) ExportCSV(w io.Writer, proj *geo.Projection) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("apdb: write header: %w", err)
 	}
-	for _, e := range db.All() {
+	sn := s.Snapshot()
+	for i := 0; i < sn.Len(); i++ {
+		e := sn.EntryAt(i)
 		ll := proj.ToLatLon(e.Pos)
 		rec := []string{
 			e.BSSID.String(),
@@ -148,7 +276,7 @@ func (db *DB) ExportCSV(w io.Writer, proj *geo.Projection) error {
 
 // ImportCSV reads a CSV in the ExportCSV schema, projecting coordinates to
 // the local plane.
-func ImportCSV(r io.Reader, proj *geo.Projection) (*DB, error) {
+func ImportCSV(r io.Reader, proj *geo.Projection) (*Store, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
 	if err != nil {
@@ -157,7 +285,7 @@ func ImportCSV(r io.Reader, proj *geo.Projection) (*DB, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("apdb: empty csv")
 	}
-	db := New()
+	entries := make([]Entry, 0, len(rows)-1)
 	for i, row := range rows[1:] {
 		if len(row) != len(csvHeader) {
 			return nil, fmt.Errorf("apdb: row %d has %d fields, want %d",
@@ -179,12 +307,12 @@ func ImportCSV(r io.Reader, proj *geo.Projection) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("apdb: row %d range: %w", i+2, err)
 		}
-		db.Add(Entry{
+		entries = append(entries, Entry{
 			BSSID:    bssid,
 			SSID:     row[1],
 			Pos:      proj.ToPlane(geo.LatLon{Lat: lat, Lon: lon}),
 			MaxRange: rng,
 		})
 	}
-	return db, nil
+	return FromEntries(entries), nil
 }

@@ -1,126 +1,49 @@
 package apdb
 
 import (
-	"math"
-
 	"repro/internal/dot11"
 	"repro/internal/geom"
 )
 
-// GridIndex is a uniform-grid spatial index over AP entries, answering
-// radius queries in time proportional to the number of touched cells
-// rather than the database size. Build it once from a DB snapshot; the
-// index is immutable (rebuild after bulk changes).
+// GridIndex is the historical spatial-index handle, kept for
+// compatibility. It used to be a one-shot snapshot built from DB.All()
+// that silently ignored later Adds; it is now a live view over the
+// store's own maintained index, so mutations after construction are
+// observed by every query. The cell size is no longer caller-chosen — the
+// snapshot derives it from the AP density — so the cellSizeM argument is
+// accepted and ignored.
+//
+// Deprecated: query the Store (Within, Nearest, Get, CandidatesFor) or a
+// pinned Store.Snapshot() directly.
 type GridIndex struct {
-	cellSize float64
-	cells    map[[2]int][]Entry
-	size     int
+	db *Store
 }
 
-// NewGridIndex builds an index over the database's current entries with
-// the given cell size in metres (a good default is the typical query
-// radius).
-func NewGridIndex(db *DB, cellSizeM float64) *GridIndex {
-	if cellSizeM <= 0 {
-		cellSizeM = 100
-	}
-	g := &GridIndex{
-		cellSize: cellSizeM,
-		cells:    make(map[[2]int][]Entry),
-	}
-	for _, e := range db.All() {
-		key := g.cellOf(e.Pos)
-		g.cells[key] = append(g.cells[key], e)
-		g.size++
-	}
-	return g
+// NewGridIndex returns a live index view over the store. cellSizeM is
+// ignored (density-derived; see GridIndex).
+func NewGridIndex(db *Store, cellSizeM float64) *GridIndex {
+	_ = cellSizeM
+	return &GridIndex{db: db}
 }
 
-// Len returns the number of indexed entries.
-func (g *GridIndex) Len() int { return g.size }
+// Len returns the number of indexed entries — the store's current count,
+// including Adds after construction.
+func (g *GridIndex) Len() int { return g.db.Len() }
 
-func (g *GridIndex) cellOf(p geom.Point) [2]int {
-	return [2]int{
-		int(math.Floor(p.X / g.cellSize)),
-		int(math.Floor(p.Y / g.cellSize)),
-	}
-}
-
-// Within returns the indexed entries within dist metres of p.
+// Within returns the entries within dist metres of p.
 func (g *GridIndex) Within(p geom.Point, dist float64) []Entry {
 	if dist < 0 {
 		return nil
 	}
-	min := g.cellOf(geom.Point{X: p.X - dist, Y: p.Y - dist})
-	max := g.cellOf(geom.Point{X: p.X + dist, Y: p.Y + dist})
-	var out []Entry
-	for cx := min[0]; cx <= max[0]; cx++ {
-		for cy := min[1]; cy <= max[1]; cy++ {
-			for _, e := range g.cells[[2]int{cx, cy}] {
-				if e.Pos.Dist(p) <= dist {
-					out = append(out, e)
-				}
-			}
-		}
-	}
-	return out
+	return g.db.Within(p, dist)
 }
 
-// Nearest returns the indexed entry closest to p, searching outward ring
-// by ring. ok is false for an empty index.
+// Nearest returns the entry closest to p. ok is false for an empty store.
 func (g *GridIndex) Nearest(p geom.Point) (Entry, bool) {
-	if g.size == 0 {
-		return Entry{}, false
-	}
-	center := g.cellOf(p)
-	best := Entry{}
-	bestDist := math.Inf(1)
-	found := false
-	for ring := 0; ; ring++ {
-		// Once a candidate is found, one extra ring guarantees correctness
-		// (a nearer point can only hide in the immediately adjacent ring).
-		if found && float64(ring-1)*g.cellSize > bestDist {
-			return best, true
-		}
-		any := false
-		for cx := center[0] - ring; cx <= center[0]+ring; cx++ {
-			for cy := center[1] - ring; cy <= center[1]+ring; cy++ {
-				onEdge := cx == center[0]-ring || cx == center[0]+ring ||
-					cy == center[1]-ring || cy == center[1]+ring
-				if !onEdge {
-					continue
-				}
-				entries, ok := g.cells[[2]int{cx, cy}]
-				if !ok {
-					continue
-				}
-				any = true
-				for _, e := range entries {
-					if d := e.Pos.Dist(p); d < bestDist {
-						best = e
-						bestDist = d
-						found = true
-					}
-				}
-			}
-		}
-		_ = any
-		if ring > 1<<20 {
-			// Defensive bound; unreachable for a non-empty index.
-			return best, found
-		}
-	}
+	return g.db.Nearest(p)
 }
 
-// Get returns the indexed entry for a BSSID, scanning the index (use the
-// backing DB for frequent identity lookups).
+// Get returns the entry for a BSSID.
 func (g *GridIndex) Get(bssid dot11.MAC) (Entry, bool) {
-	for _, entries := range g.cells {
-		for _, e := range entries {
-			if e.BSSID == bssid {
-				return e, true
-			}
-		}
-	}
-	return Entry{}, false
+	return g.db.Get(bssid)
 }

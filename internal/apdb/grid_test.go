@@ -27,10 +27,13 @@ func TestGridIndexMatchesLinearScan(t *testing.T) {
 	if idx.Len() != 200 {
 		t.Fatalf("indexed %d", idx.Len())
 	}
+	// The reference side is the snapshot's exported linear scan, so this
+	// compares the grid against ground truth rather than against itself.
+	sn := db.Snapshot()
 	for trial := 0; trial < 50; trial++ {
 		p := geom.Pt(rng.Float64()*2200-1100, rng.Float64()*2200-1100)
 		dist := rng.Float64() * 500
-		want := db.Within(p, dist)
+		want := sn.ScanWithin(p, dist)
 		got := idx.Within(p, dist)
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: grid %d vs linear %d entries", trial, len(got), len(want))
@@ -100,21 +103,36 @@ func TestGridIndexGet(t *testing.T) {
 	}
 }
 
-func BenchmarkWithinLinear(b *testing.B) {
-	db, _ := randomDB(255, 5)
-	p := geom.Pt(0, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		db.Within(p, 150)
-	}
-}
-
-func BenchmarkWithinGrid(b *testing.B) {
-	db, _ := randomDB(255, 5)
+// TestGridIndexSeesLaterAdds pins the staleness fix: the index used to be
+// a one-shot snapshot that silently ignored entries added after
+// construction; it is now a live view, so Within, Nearest and Get must
+// all observe a post-construction Add.
+func TestGridIndexSeesLaterAdds(t *testing.T) {
+	db, _ := randomDB(50, 6)
 	idx := NewGridIndex(db, 150)
-	p := geom.Pt(0, 0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		idx.Within(p, 150)
+	if idx.Len() != 50 {
+		t.Fatalf("indexed %d", idx.Len())
+	}
+	// Warm every query path so any one-shot caching would be locked in.
+	idx.Within(geom.Pt(0, 0), 100)
+	idx.Nearest(geom.Pt(5000, 5000))
+
+	late := Entry{BSSID: mac(200), Pos: geom.Pt(5000, 5000), MaxRange: 80}
+	db.Add(late)
+
+	if idx.Len() != 51 {
+		t.Fatalf("Len after Add = %d, want 51", idx.Len())
+	}
+	got, ok := idx.Get(late.BSSID)
+	if !ok || got != late {
+		t.Fatalf("Get after Add = %+v, %v", got, ok)
+	}
+	within := idx.Within(geom.Pt(5000, 5000), 10)
+	if len(within) != 1 || within[0].BSSID != late.BSSID {
+		t.Fatalf("Within after Add = %+v, want the late AP", within)
+	}
+	near, ok := idx.Nearest(geom.Pt(4990, 5010))
+	if !ok || near.BSSID != late.BSSID {
+		t.Fatalf("Nearest after Add = %+v, want the late AP", near)
 	}
 }

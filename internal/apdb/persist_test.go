@@ -1,0 +1,172 @@
+package apdb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	entries := randomEntries(500, rng)
+	entries = append(entries,
+		Entry{BSSID: mac64(1 << 40), SSID: "eduroam", Pos: geom.Pt(-1e6, 1e6), MaxRange: 0.25},
+		Entry{BSSID: mac64(2 << 40), SSID: "büro-ap £€", Pos: geom.Pt(0, 0)},
+	)
+	want := FromEntries(entries).Snapshot()
+
+	var buf bytes.Buffer
+	if err := want.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Snapshot().Equal(want) {
+		t.Fatal("round trip changed the snapshot contents")
+	}
+	// The reloaded store answers spatial queries like the original.
+	p := geom.Pt(100, -100)
+	if a, b := want.Within(p, 300), got.Within(p, 300); len(a) != len(b) {
+		t.Fatalf("Within after reload: %d vs %d entries", len(b), len(a))
+	}
+}
+
+func TestSnapshotRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip has %d entries", got.Len())
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := FromEntries(randomEntries(100, rng))
+	path := filepath.Join(t.TempDir(), "aps.snap")
+	if err := s.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Snapshot().Equal(s.Snapshot()) {
+		t.Fatal("file round trip changed the snapshot contents")
+	}
+	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Fatal("loading a missing file must error")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := FromEntries(randomEntries(50, rng)).WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), good...))
+		if _, err := ReadSnapshot(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("bad version", func(b []byte) []byte { b[8] = 99; return b })
+	corrupt("huge count", func(b []byte) []byte {
+		for i := 12; i < 20; i++ {
+			b[i] = 0xFF
+		}
+		return b
+	})
+	corrupt("flipped payload bit", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-7] })
+	corrupt("bad checksum", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b })
+	corrupt("empty", func(b []byte) []byte { return nil })
+}
+
+// TestSnapshotReadDuplicateBSSIDs: a handcrafted file with repeated
+// BSSIDs must load with Add's last-wins semantics, one slot per MAC.
+func TestSnapshotReadDuplicateBSSIDs(t *testing.T) {
+	s := New()
+	s.Add(Entry{BSSID: mac64(5), Pos: geom.Pt(1, 1), MaxRange: 10})
+	s.Add(Entry{BSSID: mac64(6), Pos: geom.Pt(2, 2), MaxRange: 20})
+	sn := s.Snapshot()
+	// Duplicate the first entry's BSSID by rewriting the second slot's
+	// packed bytes, then re-checksum by rewriting through a fresh store:
+	// easier to just build the duplicate-carrying snapshot by hand.
+	dup := &Snapshot{
+		bssid: append(append([]byte(nil), sn.bssid[:6]...), sn.bssid[:6]...),
+		ssid:  []string{"a", "b"},
+		pos:   []geom.Point{geom.Pt(1, 1), geom.Pt(9, 9)},
+		rng:   []float64{10, 99},
+	}
+	var buf bytes.Buffer
+	if err := dup.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("duplicate BSSIDs loaded as %d entries, want 1", got.Len())
+	}
+	e, ok := got.Get(mac64(5))
+	if !ok || e.MaxRange != 99 || e.Pos != geom.Pt(9, 9) || e.SSID != "b" {
+		t.Fatalf("last-wins not applied: %+v", e)
+	}
+}
+
+// FuzzSnapshotCodec feeds arbitrary bytes to the reader (must never
+// panic, and anything it accepts must re-encode losslessly) and checks
+// the round trip for generated stores.
+func FuzzSnapshotCodec(f *testing.F) {
+	var seed bytes.Buffer
+	rng := rand.New(rand.NewSource(3))
+	if err := FromEntries(randomEntries(20, rng)).WriteSnapshot(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("MRDRAPDB"))
+	trunc := seed.Bytes()[:seed.Len()/2]
+	f.Add(append([]byte(nil), trunc...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, fine — just must not panic
+		}
+		// Accepted input: re-encoding and re-reading must be stable.
+		sn := s.Snapshot()
+		var buf bytes.Buffer
+		if err := sn.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		again, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded snapshot failed: %v", err)
+		}
+		if !again.Snapshot().Equal(sn) {
+			t.Fatal("re-encoded snapshot is not equal to the accepted one")
+		}
+		// Spatial queries over accepted data must not panic, even for
+		// NaN/Inf coordinates from the fuzzer.
+		sn.Within(geom.Pt(0, 0), 100)
+		sn.Nearest(geom.Pt(math.Pi, -math.Pi))
+	})
+}

@@ -1,0 +1,155 @@
+package apdb
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dot11"
+	"repro/internal/geom"
+)
+
+// Benchmarks for the SoA store's query paths. The Linear/Grid pair is
+// the PR 6 regression benchmark: the seed sorted the whole table on
+// every Within call; the grid must stay sublinear as the AP population
+// grows from a campus (255) through a district (1e5) to a metro (1e6).
+
+// benchStore builds an n-AP store spread over an area sized for a
+// roughly constant ~100 APs/km² urban density, so the grid cell
+// population stays realistic at every n.
+func benchStore(n int) *Store {
+	rng := rand.New(rand.NewSource(int64(n)))
+	side := math.Sqrt(float64(n) / 100.0 * 1e6) // meters
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			BSSID:    mac64(uint64(i) + 1),
+			Pos:      geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			MaxRange: 50 + rng.Float64()*100,
+		}
+	}
+	return FromEntries(entries)
+}
+
+var benchSizes = []int{255, 100_000, 1_000_000}
+
+var sinkEntries []Entry
+
+// BenchmarkWithinLinear is the seed's cost model: a full scan of the
+// table per query (the seed additionally sorted, which is strictly
+// worse; the scan is the fair floor).
+func BenchmarkWithinLinear(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("aps=%d", n), func(b *testing.B) {
+			sn := benchStore(n).Snapshot()
+			side := math.Sqrt(float64(n) / 100.0 * 1e6)
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+				sinkEntries = sn.ScanWithin(p, 250)
+			}
+		})
+	}
+}
+
+// BenchmarkWithinGrid is the same query through the spatial index.
+func BenchmarkWithinGrid(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("aps=%d", n), func(b *testing.B) {
+			sn := benchStore(n).Snapshot()
+			side := math.Sqrt(float64(n) / 100.0 * 1e6)
+			sn.Within(geom.Pt(0, 0), 1) // build the index outside the timer
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+				sinkEntries = sn.Within(p, 250)
+			}
+		})
+	}
+}
+
+var sinkDiscs []geom.Circle
+
+// BenchmarkCandidatesFor is the M-Loc hot path: Γ-set lookup into
+// candidate discs, no per-call map or sort.
+func BenchmarkCandidatesFor(b *testing.B) {
+	s := benchStore(100_000)
+	rng := rand.New(rand.NewSource(2))
+	gamma := make([]dot11.MAC, 8)
+	for i := range gamma {
+		gamma[i] = mac64(uint64(rng.Intn(100_000)) + 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDiscs = s.CandidatesFor(gamma, 100)
+	}
+}
+
+var sinkSnap *Snapshot
+
+// BenchmarkSnapshotPublish measures the copy-on-write slow path: one Add
+// invalidates, the next Snapshot call re-sorts and republishes.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	for _, n := range []int{255, 100_000} {
+		b.Run(fmt.Sprintf("aps=%d", n), func(b *testing.B) {
+			s := benchStore(n)
+			e := Entry{BSSID: mac64(1), Pos: geom.Pt(1, 1), MaxRange: 100}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.MaxRange = float64(i%100) + 1
+				s.Add(e)
+				sinkSnap = s.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotCached is the fast path: a clean store hands out the
+// published pointer with no copying.
+func BenchmarkSnapshotCached(b *testing.B) {
+	s := benchStore(100_000)
+	s.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkSnap = s.Snapshot()
+	}
+}
+
+var sinkErr error
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	sn := benchStore(100_000).Snapshot()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		sinkErr = sn.WriteSnapshot(&buf)
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchStore(100_000).WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,14 +26,14 @@ type APLocConfig struct {
 // the role of APs).
 func EstimateAPLocations(tuples []wardrive.Tuple, cfg APLocConfig) (Knowledge, error) {
 	if cfg.TrainingRadius <= 0 {
-		return nil, fmt.Errorf("core: AP-Loc needs TrainingRadius > 0, got %v",
+		return Knowledge{}, fmt.Errorf("core: AP-Loc needs TrainingRadius > 0, got %v",
 			cfg.TrainingRadius)
 	}
 	aps := wardrive.APsInTraining(tuples)
 	if len(aps) == 0 {
-		return nil, fmt.Errorf("core: training set names no APs: %w", ErrNoAPs)
+		return Knowledge{}, fmt.Errorf("core: training set names no APs: %w", ErrNoAPs)
 	}
-	k := make(Knowledge, len(aps))
+	infos := make([]APInfo, 0, len(aps))
 	for _, ap := range aps {
 		locs := wardrive.TuplesForAP(tuples, ap)
 		discs := make([]geom.Circle, 0, len(locs))
@@ -49,11 +49,11 @@ func EstimateAPLocations(tuples []wardrive.Tuple, cfg APLocConfig) (Knowledge, e
 		}
 		c, err := geom.Centroid(verts)
 		if err != nil {
-			return nil, fmt.Errorf("core: ap-loc centroid for %v: %w", ap, err)
+			return Knowledge{}, fmt.Errorf("core: ap-loc centroid for %v: %w", ap, err)
 		}
-		k[ap] = APInfo{BSSID: ap, Pos: c}
+		infos = append(infos, APInfo{BSSID: ap, Pos: c})
 	}
-	return k, nil
+	return NewKnowledge(infos), nil
 }
 
 // APLoc is the paper's full AP-Loc algorithm: estimate AP locations from

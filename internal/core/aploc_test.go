@@ -71,12 +71,12 @@ func TestEstimateAPLocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(k) != len(w.APs) {
-		t.Fatalf("estimated %d APs, want %d", len(k), len(w.APs))
+	if k.Len() != len(w.APs) {
+		t.Fatalf("estimated %d APs, want %d", k.Len(), len(w.APs))
 	}
 	var total float64
 	for _, ap := range w.APs {
-		in, ok := k[ap.MAC]
+		in, ok := k.Get(ap.MAC)
 		if !ok {
 			t.Fatalf("AP %v not estimated", ap.MAC)
 		}
@@ -112,8 +112,8 @@ func TestEstimateAPLocationsInconsistentFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if k[ap].Pos != geom.Pt(250, 0) {
-		t.Errorf("fallback position = %v, want (250,0)", k[ap].Pos)
+	if in, _ := k.Get(ap); in.Pos != geom.Pt(250, 0) {
+		t.Errorf("fallback position = %v, want (250,0)", in.Pos)
 	}
 }
 

@@ -75,21 +75,18 @@ func EstimateRadii(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 	var diag APRadDiagnostics
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, diag, err
+		return Knowledge{}, diag, err
 	}
-	// Stable AP ordering.
-	aps := make([]dot11.MAC, 0, len(k))
-	for m := range k {
-		aps = append(aps, m)
-	}
-	sortMACs(aps)
+	// Stable AP ordering: the snapshot's BSSID-ascending slot order.
+	sn := k.Snapshot()
+	aps := k.MACs()
 	idx := make(map[dot11.MAC]int, len(aps))
 	for i, m := range aps {
 		idx[m] = i
 	}
 	n := len(aps)
 	if n == 0 {
-		return nil, diag, ErrNoAPs
+		return Knowledge{}, diag, ErrNoAPs
 	}
 
 	// Co-observation matrix from the device sets.
@@ -133,7 +130,7 @@ func EstimateRadii(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 	var uppers []upper
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := k[aps[i]].Pos.Dist(k[aps[j]].Pos)
+			d := sn.PosAt(i).Dist(sn.PosAt(j))
 			if co[[2]int{i, j}] {
 				lowers = append(lowers, lower{i, j, d})
 				if cfg.KeepLowerBounds {
@@ -184,7 +181,7 @@ func EstimateRadii(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 	x, obj, lpStats, err := lp.SolveStats(prob)
 	diag.LPIterations = lpStats.Pivots()
 	if err != nil {
-		return nil, diag, fmt.Errorf("ap-rad lp: %w", err)
+		return Knowledge{}, diag, fmt.Errorf("ap-rad lp: %w", err)
 	}
 	diag.Objective = obj
 
@@ -207,13 +204,13 @@ func EstimateRadii(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 		}
 	}
 
-	out := make(Knowledge, n)
-	for i, m := range aps {
-		in := k[m]
+	out := make([]APInfo, n)
+	for i := range aps {
+		in := sn.EntryAt(i)
 		in.MaxRange = x[i]
-		out[m] = in
+		out[i] = in
 	}
-	return out, diag, nil
+	return NewKnowledge(out), diag, nil
 }
 
 // MLocInflated runs M-Loc, and on an empty intersection region retries
@@ -239,12 +236,18 @@ func MLocInflated(k Knowledge, gamma []dot11.MAC, maxFactor float64) (Estimate, 
 		if factor > maxFactor {
 			return Estimate{}, factor, fmt.Errorf("inflated %.2fx: %w", factor, ErrEmptyRegion)
 		}
-		inflated := make(Knowledge, len(k))
-		for m, in := range k {
+		// MLoc only reads Γ's entries, so the retry knowledge holds just
+		// those, re-inflated from the original base each round.
+		inflated := make([]APInfo, 0, len(gamma))
+		for _, m := range gamma {
+			in, ok := k.Get(m)
+			if !ok {
+				continue
+			}
 			in.MaxRange *= factor
-			inflated[m] = in
+			inflated = append(inflated, in)
 		}
-		cur = inflated
+		cur = NewKnowledge(inflated)
 	}
 }
 
@@ -268,17 +271,6 @@ func APRad(k Knowledge, deviceSets map[dot11.MAC][]dot11.MAC,
 	}
 	est.Method = "ap-rad"
 	return est, nil
-}
-
-func sortMACs(ms []dot11.MAC) {
-	sort.Slice(ms, func(i, j int) bool {
-		for k := 0; k < 6; k++ {
-			if ms[i][k] != ms[j][k] {
-				return ms[i][k] < ms[j][k]
-			}
-		}
-		return false
-	})
 }
 
 // Baselines the paper compares against.
@@ -309,7 +301,7 @@ func ClosestAPBaseline(k Knowledge, gamma []dot11.MAC) (Estimate, error) {
 	best := APInfo{}
 	found := false
 	for _, m := range gamma {
-		in, ok := k[m]
+		in, ok := k.Get(m)
 		if !ok {
 			continue
 		}

@@ -11,11 +11,11 @@ import (
 
 // lineWorld: three APs on a line; device sets establish co-observations.
 func lineWorld() (Knowledge, map[dot11.MAC][]dot11.MAC) {
-	k := Knowledge{
-		mac(1): {BSSID: mac(1), Pos: geom.Pt(0, 0)},
-		mac(2): {BSSID: mac(2), Pos: geom.Pt(100, 0)},
-		mac(3): {BSSID: mac(3), Pos: geom.Pt(300, 0)},
-	}
+	k := NewKnowledge([]APInfo{
+		{BSSID: mac(1), Pos: geom.Pt(0, 0)},
+		{BSSID: mac(2), Pos: geom.Pt(100, 0)},
+		{BSSID: mac(3), Pos: geom.Pt(300, 0)},
+	})
 	sets := map[dot11.MAC][]dot11.MAC{
 		mac(101): {mac(1), mac(2)}, // co-observes APs 1,2
 		mac(102): {mac(2), mac(3)}, // co-observes APs 2,3
@@ -29,9 +29,9 @@ func TestEstimateRadiiConstraints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := out[mac(1)].MaxRange
-	r2 := out[mac(2)].MaxRange
-	r3 := out[mac(3)].MaxRange
+	r1 := knownRange(t, out, mac(1))
+	r2 := knownRange(t, out, mac(2))
+	r3 := knownRange(t, out, mac(3))
 	// Co-observed pairs: r1+r2 >= 100, r2+r3 >= 200.
 	if r1+r2 < 100-1e-6 {
 		t.Errorf("r1+r2 = %v, want >= 100", r1+r2)
@@ -56,10 +56,10 @@ func TestEstimateRadiiConstraints(t *testing.T) {
 
 func TestEstimateRadiiNeverCoObservedBinds(t *testing.T) {
 	// Two APs 100 m apart never co-observed: r1 + r2 <= 100 - margin.
-	k := Knowledge{
-		mac(1): {BSSID: mac(1), Pos: geom.Pt(0, 0)},
-		mac(2): {BSSID: mac(2), Pos: geom.Pt(100, 0)},
-	}
+	k := NewKnowledge([]APInfo{
+		{BSSID: mac(1), Pos: geom.Pt(0, 0)},
+		{BSSID: mac(2), Pos: geom.Pt(100, 0)},
+	})
 	sets := map[dot11.MAC][]dot11.MAC{
 		mac(101): {mac(1)},
 		mac(102): {mac(2)},
@@ -68,7 +68,7 @@ func TestEstimateRadiiNeverCoObservedBinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := out[mac(1)].MaxRange + out[mac(2)].MaxRange
+	sum := knownRange(t, out, mac(1)) + knownRange(t, out, mac(2))
 	if sum > 98+1e-6 {
 		t.Errorf("r1+r2 = %v, want <= 98", sum)
 	}
@@ -112,10 +112,10 @@ func TestEstimateRadiiInconsistentObservations(t *testing.T) {
 	// Device co-observes APs 400 m apart, but MaxRadius is 150: the lower
 	// bound r1+r2 >= 400 cannot hold within the box. With dropped lower
 	// bounds the LP still solves and reports the violation.
-	k := Knowledge{
-		mac(1): {BSSID: mac(1), Pos: geom.Pt(0, 0)},
-		mac(2): {BSSID: mac(2), Pos: geom.Pt(400, 0)},
-	}
+	k := NewKnowledge([]APInfo{
+		{BSSID: mac(1), Pos: geom.Pt(0, 0)},
+		{BSSID: mac(2), Pos: geom.Pt(400, 0)},
+	})
 	sets := map[dot11.MAC][]dot11.MAC{mac(101): {mac(1), mac(2)}}
 	out, diag, err := EstimateRadii(k, sets, APRadConfig{MaxRadius: 150})
 	if err != nil {
@@ -124,7 +124,7 @@ func TestEstimateRadiiInconsistentObservations(t *testing.T) {
 	if diag.LowerBoundViolations != 1 {
 		t.Errorf("violations = %d, want 1", diag.LowerBoundViolations)
 	}
-	if out[mac(1)].MaxRange > 150+1e-6 {
+	if knownRange(t, out, mac(1)) > 150+1e-6 {
 		t.Error("box bound violated")
 	}
 }
@@ -134,17 +134,15 @@ func TestAPRadEndToEnd(t *testing.T) {
 	// area produce observation sets under the spherical model; AP-Rad must
 	// locate a target device reasonably.
 	trueR := 120.0
-	k := Knowledge{}
 	var aps []APInfo
 	id := byte(1)
 	for x := 0.0; x <= 400; x += 100 {
 		for y := 0.0; y <= 400; y += 100 {
-			in := APInfo{BSSID: mac(id), Pos: geom.Pt(x, y)}
-			k[in.BSSID] = in
-			aps = append(aps, in)
+			aps = append(aps, APInfo{BSSID: mac(id), Pos: geom.Pt(x, y)})
 			id++
 		}
 	}
+	k := NewKnowledge(aps)
 	commAt := func(p geom.Point) []dot11.MAC {
 		var g []dot11.MAC
 		for _, in := range aps {
@@ -181,4 +179,15 @@ func TestAPRadEndToEnd(t *testing.T) {
 	if _, err := APRad(k, sets, mac(200), APRadConfig{MaxRadius: 300}); err == nil {
 		t.Error("want error for unobserved target")
 	}
+}
+
+// knownRange fetches an AP's estimated radius, failing the test when the
+// AP is missing from the knowledge base.
+func knownRange(t *testing.T, k Knowledge, m dot11.MAC) float64 {
+	t.Helper()
+	in, ok := k.Get(m)
+	if !ok {
+		t.Fatalf("AP %v missing from knowledge", m)
+	}
+	return in.MaxRange
 }

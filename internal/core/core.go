@@ -22,65 +22,98 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/apdb"
 	"repro/internal/dot11"
 	"repro/internal/geom"
 )
 
 // APInfo is the attacker's knowledge about one AP: its identity, its
 // location, and (when known or estimated) its maximum transmission
-// distance.
-type APInfo struct {
-	BSSID dot11.MAC `json:"bssid"`
-	// Pos is the AP position in the attack's local plane (metres).
-	Pos geom.Point `json:"pos"`
-	// MaxRange is the maximum transmission distance rᵢ; 0 means unknown.
-	MaxRange float64 `json:"maxRange"`
+// distance. It is an alias of apdb.Entry — the repo-wide single AP
+// representation; the SSID field is unused by the algorithms.
+type APInfo = apdb.Entry
+
+// Knowledge is the per-attack AP knowledge base (external knowledge, or
+// the output of AP-Rad / AP-Loc training): an immutable view over an
+// apdb.Snapshot, the struct-of-arrays store behind apdb, core and the
+// engine. The zero value is an empty knowledge base. Copying a Knowledge
+// copies a pointer; the underlying snapshot never changes.
+type Knowledge struct {
+	snap *apdb.Snapshot
 }
 
-// Knowledge indexes APInfo by BSSID — the per-attack AP knowledge base
-// (external knowledge, or the output of AP-Loc's training).
-type Knowledge map[dot11.MAC]APInfo
-
-// NewKnowledge builds a Knowledge map from a list of APInfo.
+// NewKnowledge builds a Knowledge base from a list of APInfo (later
+// duplicates replace earlier ones).
 func NewKnowledge(infos []APInfo) Knowledge {
-	k := make(Knowledge, len(infos))
-	for _, in := range infos {
-		k[in.BSSID] = in
-	}
-	return k
+	return KnowledgeFromStore(apdb.FromEntries(infos))
 }
+
+// KnowledgeFromStore is a view of the store's current snapshot. Later
+// store mutations publish new snapshots and do not affect the view.
+func KnowledgeFromStore(s *apdb.Store) Knowledge {
+	if s == nil {
+		return Knowledge{}
+	}
+	return Knowledge{snap: s.Snapshot()}
+}
+
+// KnowledgeFromSnapshot wraps an already-published snapshot.
+func KnowledgeFromSnapshot(sn *apdb.Snapshot) Knowledge {
+	return Knowledge{snap: sn}
+}
+
+// Snapshot exposes the backing snapshot (the shared empty snapshot for a
+// zero Knowledge).
+func (k Knowledge) Snapshot() *apdb.Snapshot {
+	if k.snap == nil {
+		return apdb.EmptySnapshot()
+	}
+	return k.snap
+}
+
+// IsZero reports whether the knowledge base was never populated (no
+// backing snapshot). An explicitly built empty base is not zero.
+func (k Knowledge) IsZero() bool { return k.snap == nil }
+
+// Len returns the number of known APs.
+func (k Knowledge) Len() int { return k.Snapshot().Len() }
+
+// Epoch is the backing snapshot's process-unique generation (0 for a zero
+// base). Distinct snapshots always have distinct epochs, so an epoch
+// comparison alone detects knowledge change.
+func (k Knowledge) Epoch() uint64 { return k.Snapshot().Epoch() }
+
+// Get returns the knowledge about one AP.
+func (k Knowledge) Get(m dot11.MAC) (APInfo, bool) { return k.Snapshot().Get(m) }
+
+// All returns every known AP in BSSID order (a fresh slice per call).
+func (k Knowledge) All() []APInfo { return k.Snapshot().All() }
+
+// MACs returns every known BSSID in ascending order.
+func (k Knowledge) MACs() []dot11.MAC {
+	sn := k.Snapshot()
+	out := make([]dot11.MAC, sn.Len())
+	for i := range out {
+		out[i] = sn.MACAt(i)
+	}
+	return out
+}
+
+// Equal reports whether two knowledge bases hold identical entries.
+func (k Knowledge) Equal(o Knowledge) bool { return k.Snapshot().Equal(o.Snapshot()) }
 
 // Discs returns the coverage discs of the APs in Γ that are present in the
 // knowledge base, using each AP's own MaxRange (or fallbackRange when the
-// AP's range is unknown; fallbackRange ≤ 0 skips range-less APs).
+// AP's range is unknown; fallbackRange ≤ 0 skips range-less APs). This is
+// the candidate-disc lookup of M-Loc/AP-Rad: O(|Γ| log n) via the
+// snapshot, independent of the knowledge-base size.
 func (k Knowledge) Discs(gamma []dot11.MAC, fallbackRange float64) []geom.Circle {
-	discs := make([]geom.Circle, 0, len(gamma))
-	for _, m := range gamma {
-		in, ok := k[m]
-		if !ok {
-			continue
-		}
-		r := in.MaxRange
-		if r <= 0 {
-			if fallbackRange <= 0 {
-				continue
-			}
-			r = fallbackRange
-		}
-		discs = append(discs, geom.Circle{C: in.Pos, R: r})
-	}
-	return discs
+	return k.Snapshot().CandidatesFor(make([]geom.Circle, 0, len(gamma)), gamma, fallbackRange)
 }
 
 // Positions returns the known positions of the APs in Γ.
 func (k Knowledge) Positions(gamma []dot11.MAC) []geom.Point {
-	pts := make([]geom.Point, 0, len(gamma))
-	for _, m := range gamma {
-		if in, ok := k[m]; ok {
-			pts = append(pts, in.Pos)
-		}
-	}
-	return pts
+	return k.Snapshot().AppendPositions(make([]geom.Point, 0, len(gamma)), gamma)
 }
 
 // Estimate is a localization result.

@@ -16,14 +16,14 @@ func mac(i byte) dot11.MAC { return dot11.MAC{0, 0, 0, 0, 0, i} }
 // knowledgeOn builds a Knowledge with APs at the given positions, all with
 // the same radius.
 func knowledgeOn(positions []geom.Point, r float64) (Knowledge, []dot11.MAC) {
-	k := make(Knowledge, len(positions))
+	infos := make([]APInfo, 0, len(positions))
 	gamma := make([]dot11.MAC, 0, len(positions))
 	for i, p := range positions {
 		m := mac(byte(i + 1))
-		k[m] = APInfo{BSSID: m, Pos: p, MaxRange: r}
+		infos = append(infos, APInfo{BSSID: m, Pos: p, MaxRange: r})
 		gamma = append(gamma, m)
 	}
-	return k, gamma
+	return NewKnowledge(infos), gamma
 }
 
 func TestMLocSymmetricPair(t *testing.T) {
@@ -68,7 +68,7 @@ func TestMLocErrors(t *testing.T) {
 func TestMLocSkipsRangelessAPs(t *testing.T) {
 	k, gamma := knowledgeOn([]geom.Point{geom.Pt(-50, 0), geom.Pt(50, 0)}, 100)
 	noRange := mac(77)
-	k[noRange] = APInfo{BSSID: noRange, Pos: geom.Pt(999, 999)}
+	k = NewKnowledge(append(k.All(), APInfo{BSSID: noRange, Pos: geom.Pt(999, 999)}))
 	est, err := MLoc(k, append(gamma, noRange))
 	if err != nil {
 		t.Fatal(err)
@@ -176,11 +176,11 @@ func TestCentroidBaseline(t *testing.T) {
 }
 
 func TestClosestAPBaseline(t *testing.T) {
-	k := Knowledge{
-		mac(1): {BSSID: mac(1), Pos: geom.Pt(0, 0), MaxRange: 200},
-		mac(2): {BSSID: mac(2), Pos: geom.Pt(50, 0), MaxRange: 60},
-		mac(3): {BSSID: mac(3), Pos: geom.Pt(99, 0)}, // unknown range
-	}
+	k := NewKnowledge([]APInfo{
+		{BSSID: mac(1), Pos: geom.Pt(0, 0), MaxRange: 200},
+		{BSSID: mac(2), Pos: geom.Pt(50, 0), MaxRange: 60},
+		{BSSID: mac(3), Pos: geom.Pt(99, 0)}, // unknown range
+	})
 	est, err := ClosestAPBaseline(k, []dot11.MAC{mac(1), mac(2), mac(3)})
 	if err != nil {
 		t.Fatal(err)
@@ -198,8 +198,8 @@ func TestKnowledgeHelpers(t *testing.T) {
 		{BSSID: mac(1), Pos: geom.Pt(0, 0), MaxRange: 100},
 		{BSSID: mac(2), Pos: geom.Pt(10, 0)},
 	})
-	if len(k) != 2 {
-		t.Fatalf("knowledge size = %d", len(k))
+	if k.Len() != 2 {
+		t.Fatalf("knowledge size = %d", k.Len())
 	}
 	gamma := []dot11.MAC{mac(1), mac(2), mac(9)}
 	if got := k.Discs(gamma, 0); len(got) != 1 {

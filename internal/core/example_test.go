@@ -53,8 +53,9 @@ func ExampleEstimateRadii() {
 		fmt.Println(err)
 		return
 	}
-	r1 := est[ap1].MaxRange
-	r2 := est[ap2].MaxRange
+	in1, _ := est.Get(ap1)
+	in2, _ := est.Get(ap2)
+	r1, r2 := in1.MaxRange, in2.MaxRange
 	fmt.Printf("r1+r2 >= 120: %v\n", r1+r2 >= 120)
 	// Output: r1+r2 >= 120: true
 }

@@ -151,7 +151,7 @@ func (l APRadLocalizer) TrainDiagnosed(base Knowledge, deviceSets map[dot11.MAC]
 // radii with AP-Rad's LP over the observed device sets. Use it by
 // pointer: training state is cached on the receiver.
 type APLocLocalizer struct {
-	// Tuples is the wardriving training set (used when Trained is nil).
+	// Tuples is the wardriving training set (used when Trained is zero).
 	Tuples []wardrive.Tuple
 	// Trained overrides position training with an already-trained base.
 	Trained Knowledge
@@ -184,10 +184,10 @@ func (l *APLocLocalizer) Train(base Knowledge, deviceSets map[dot11.MAC][]dot11.
 // TrainDiagnosed implements DiagnosedTrainer. Position training is
 // memoized on the receiver; the diagnostics describe the radius LP.
 func (l *APLocLocalizer) TrainDiagnosed(_ Knowledge, deviceSets map[dot11.MAC][]dot11.MAC) (Knowledge, TrainDiag, error) {
-	if l.Trained == nil {
+	if l.Trained.IsZero() {
 		trained, err := EstimateAPLocations(l.Tuples, l.Cfg)
 		if err != nil {
-			return nil, TrainDiag{}, fmt.Errorf("ap-loc training: %w", err)
+			return Knowledge{}, TrainDiag{}, fmt.Errorf("ap-loc training: %w", err)
 		}
 		l.Trained = trained
 	}

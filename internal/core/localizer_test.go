@@ -1,7 +1,6 @@
 package core
 
 import (
-	"reflect"
 	"testing"
 
 	"repro/internal/dot11"
@@ -10,11 +9,11 @@ import (
 )
 
 func localizerKnow() Knowledge {
-	return Knowledge{
-		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0), MaxRange: 100},
-		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0), MaxRange: 100},
-		mac(0xA3): {BSSID: mac(0xA3), Pos: geom.Pt(0, 60), MaxRange: 80},
-	}
+	return NewKnowledge([]APInfo{
+		{BSSID: mac(0xA1), Pos: geom.Pt(-50, 0), MaxRange: 100},
+		{BSSID: mac(0xA2), Pos: geom.Pt(50, 0), MaxRange: 100},
+		{BSSID: mac(0xA3), Pos: geom.Pt(0, 60), MaxRange: 80},
+	})
 }
 
 func TestLocalizerNames(t *testing.T) {
@@ -62,11 +61,11 @@ func TestLocalizersMatchDirectCalls(t *testing.T) {
 }
 
 func TestAPRadLocalizerTrainAndLocate(t *testing.T) {
-	base := Knowledge{
-		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
-		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
-		mac(0xA3): {BSSID: mac(0xA3), Pos: geom.Pt(400, 0)},
-	}
+	base := NewKnowledge([]APInfo{
+		{BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
+		{BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
+		{BSSID: mac(0xA3), Pos: geom.Pt(400, 0)},
+	})
 	dev := mac(1)
 	sets := map[dot11.MAC][]dot11.MAC{
 		dev: {mac(0xA1), mac(0xA2)},
@@ -77,7 +76,7 @@ func TestAPRadLocalizerTrainAndLocate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The co-observed pair forces r1 + r2 ≥ 100.
-	if sum := trained[mac(0xA1)].MaxRange + trained[mac(0xA2)].MaxRange; sum < 100-1e-6 {
+	if sum := knownRange(t, trained, mac(0xA1)) + knownRange(t, trained, mac(0xA2)); sum < 100-1e-6 {
 		t.Errorf("trained radii sum = %v, want ≥ 100", sum)
 	}
 	est, err := loc.Locate(trained, sets[dev])
@@ -106,22 +105,23 @@ func TestAPLocLocalizerTrainsOnce(t *testing.T) {
 	}
 	dev := mac(1)
 	sets := map[dot11.MAC][]dot11.MAC{dev: {ap}}
-	trained, err := loc.Train(nil, sets)
+	trained, err := loc.Train(Knowledge{}, sets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loc.Trained == nil {
+	if loc.Trained.IsZero() {
 		t.Fatal("position training not memoized")
 	}
-	if got := trained[ap].Pos; got.Dist(geom.Pt(0, 0)) > 1e-6 {
-		t.Errorf("trained AP position = %v, want origin", got)
+	if in, _ := trained.Get(ap); in.Pos.Dist(geom.Pt(0, 0)) > 1e-6 {
+		t.Errorf("trained AP position = %v, want origin", in.Pos)
 	}
 	first := loc.Trained
-	if _, err := loc.Train(nil, sets); err != nil {
+	if _, err := loc.Train(Knowledge{}, sets); err != nil {
 		t.Fatal(err)
 	}
-	// Memoized: the cached base map itself is reused, not rebuilt.
-	if reflect.ValueOf(first).Pointer() != reflect.ValueOf(loc.Trained).Pointer() {
+	// Memoized: the cached base's backing snapshot itself is reused, not
+	// rebuilt.
+	if first.Snapshot() != loc.Trained.Snapshot() {
 		t.Error("position training reran on second Train call")
 	}
 	est, err := loc.Locate(trained, sets[dev])
@@ -171,10 +171,10 @@ func absf(x float64) float64 {
 }
 
 func TestAPRadTrainDiagnosed(t *testing.T) {
-	base := Knowledge{
-		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
-		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
-	}
+	base := NewKnowledge([]APInfo{
+		{BSSID: mac(0xA1), Pos: geom.Pt(-50, 0)},
+		{BSSID: mac(0xA2), Pos: geom.Pt(50, 0)},
+	})
 	sets := map[dot11.MAC][]dot11.MAC{
 		mac(1): {mac(0xA1), mac(0xA2)},
 	}
@@ -183,8 +183,8 @@ func TestAPRadTrainDiagnosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trained) != 2 {
-		t.Fatalf("trained %d APs, want 2", len(trained))
+	if trained.Len() != 2 {
+		t.Fatalf("trained %d APs, want 2", trained.Len())
 	}
 	if diag.Constraints < 1 {
 		t.Errorf("diag.Constraints = %d, want the co-observation constraint counted", diag.Constraints)
@@ -201,7 +201,7 @@ func TestAPRadTrainDiagnosed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(plain, trained) {
+	if !plain.Equal(trained) {
 		t.Error("Train and TrainDiagnosed disagree")
 	}
 }

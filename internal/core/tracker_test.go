@@ -10,12 +10,12 @@ import (
 )
 
 func trackerFixture() (*Tracker, dot11.MAC) {
-	k := Knowledge{
-		mac(0xA1): {BSSID: mac(0xA1), Pos: geom.Pt(-50, 0), MaxRange: 100},
-		mac(0xA2): {BSSID: mac(0xA2), Pos: geom.Pt(50, 0), MaxRange: 100},
-		mac(0xA3): {BSSID: mac(0xA3), Pos: geom.Pt(200, 0), MaxRange: 100},
-		mac(0xA4): {BSSID: mac(0xA4), Pos: geom.Pt(300, 0), MaxRange: 100},
-	}
+	k := NewKnowledge([]APInfo{
+		{BSSID: mac(0xA1), Pos: geom.Pt(-50, 0), MaxRange: 100},
+		{BSSID: mac(0xA2), Pos: geom.Pt(50, 0), MaxRange: 100},
+		{BSSID: mac(0xA3), Pos: geom.Pt(200, 0), MaxRange: 100},
+		{BSSID: mac(0xA4), Pos: geom.Pt(300, 0), MaxRange: 100},
+	})
 	store := obs.NewStore()
 	dev := mac(1)
 	// The device is near the origin at t=10 (hears A1, A2), then near

@@ -22,7 +22,7 @@ type flakyTrainer struct {
 func (f flakyTrainer) Name() string { return "flaky" }
 
 func (f flakyTrainer) Locate(k core.Knowledge, gamma []dot11.MAC) (core.Estimate, error) {
-	if len(k) == 0 {
+	if k.Len() == 0 {
 		return core.Estimate{}, core.ErrNoAPs
 	}
 	return core.Estimate{Pos: geom.Pt(1, 2), K: len(gamma), Method: "flaky"}, nil
@@ -32,19 +32,18 @@ func (f flakyTrainer) Train(base core.Knowledge, sets map[dot11.MAC][]dot11.MAC)
 	*f.calls++
 	if *f.failLeft > 0 {
 		*f.failLeft--
-		return nil, errors.New("LP infeasible")
+		return core.Knowledge{}, errors.New("LP infeasible")
 	}
-	k := core.Knowledge{}
-	for m, in := range base {
-		in.MaxRange = 100
-		k[m] = in
+	infos := base.All()
+	for i := range infos {
+		infos[i].MaxRange = 100
 	}
-	return k, nil
+	return core.NewKnowledge(infos), nil
 }
 
 func trainBase() core.Knowledge {
 	ap := dot11.MAC{2, 0xA9, 0, 0, 0, 1}
-	return core.Knowledge{ap: core.APInfo{BSSID: ap, Pos: geom.Pt(0, 0)}}
+	return core.NewKnowledge([]core.APInfo{{BSSID: ap, Pos: geom.Pt(0, 0)}})
 }
 
 func TestRefreshRetriesThenSucceeds(t *testing.T) {
@@ -119,7 +118,7 @@ func TestRefreshFallsBackToLastKnownGood(t *testing.T) {
 	if eng.Stats().KnowledgeGen != goodGen {
 		t.Error("fallback must not swap the knowledge generation")
 	}
-	if k := eng.Knowledge(); len(k) != len(goodKnow) {
+	if k := eng.Knowledge(); k.Len() != goodKnow.Len() {
 		t.Error("fallback lost the last-known-good knowledge")
 	}
 	// Fixes keep working against the stale knowledge: degraded, not dead.

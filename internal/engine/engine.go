@@ -292,9 +292,19 @@ func (e *Engine) Knowledge() core.Knowledge {
 }
 
 // SetKnowledge swaps in a new working knowledge base and invalidates the
-// Γ cache.
+// Γ cache. Invalidation is exact: when the new base holds the same entries
+// as the current one — the common case of a retrain over unchanged
+// observations — nothing changed that a cached estimate could depend on,
+// so the generation is kept and the cache survives. The snapshot-epoch
+// fast path makes the unchanged check O(1) when the base is literally the
+// same snapshot, falling back to a content comparison otherwise.
 func (e *Engine) SetKnowledge(k core.Knowledge) {
 	e.mu.Lock()
+	if k.Epoch() == e.know.Epoch() || k.Equal(e.know) {
+		e.know = k
+		e.mu.Unlock()
+		return
+	}
 	e.know = k
 	e.mu.Unlock()
 	e.knowGen.Add(1)
@@ -415,7 +425,7 @@ func (e *Engine) locateGamma(gamma []dot11.MAC, tr *trace.Trace) (core.Estimate,
 	e.fixes.Add(1)
 	mFixes.Inc()
 	if len(gamma) == 0 {
-		return core.Estimate{}, nil, false, core.ErrNoAPs
+		return core.Estimate{}, core.Knowledge{}, false, core.ErrNoAPs
 	}
 	e.mu.RLock()
 	know := e.know

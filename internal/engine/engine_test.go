@@ -20,7 +20,6 @@ func mac(hi, lo byte) dot11.MAC { return dot11.MAC{0, 0, 0, 0, hi, lo} }
 // and nDevs devices, each with pairwise records at t=50 naming the APs
 // within range of its position.
 func gridWorld(nAPs, nDevs int) (core.Knowledge, *obs.Store, []dot11.MAC) {
-	k := make(core.Knowledge, nAPs)
 	var aps []core.APInfo
 	side := 1
 	for side*side < nAPs {
@@ -29,10 +28,9 @@ func gridWorld(nAPs, nDevs int) (core.Knowledge, *obs.Store, []dot11.MAC) {
 	for i := 0; i < nAPs; i++ {
 		m := mac(0xA0+byte(i/200), byte(i%200))
 		pos := geom.Pt(float64(i%side)*70-350, float64(i/side)*70-350)
-		in := core.APInfo{BSSID: m, Pos: pos, MaxRange: 100}
-		k[m] = in
-		aps = append(aps, in)
+		aps = append(aps, core.APInfo{BSSID: m, Pos: pos, MaxRange: 100})
 	}
+	k := core.NewKnowledge(aps)
 	store := obs.NewStore()
 	devs := make([]dot11.MAC, nDevs)
 	for d := 0; d < nDevs; d++ {
@@ -204,12 +202,11 @@ func TestCacheHitsAndInvalidation(t *testing.T) {
 
 	// Shift every AP: the same Γ must now localize elsewhere, so the
 	// cache has to be invalidated by the knowledge swap.
-	shifted := make(core.Knowledge, len(k))
-	for m, in := range k {
-		in.Pos = geom.Pt(in.Pos.X+500, in.Pos.Y)
-		shifted[m] = in
+	shiftedInfos := k.All()
+	for i := range shiftedInfos {
+		shiftedInfos[i].Pos = geom.Pt(shiftedInfos[i].Pos.X+500, shiftedInfos[i].Pos.Y)
 	}
-	e.SetKnowledge(shifted)
+	e.SetKnowledge(core.NewKnowledge(shiftedInfos))
 	third, err := e.Fix(devs[0], 50)
 	if err != nil {
 		t.Fatal(err)
@@ -239,11 +236,11 @@ func TestCacheDisabled(t *testing.T) {
 func TestRefreshKnowledgeTrainsAPRad(t *testing.T) {
 	// Positions known, radii withheld: RefreshKnowledge must estimate them
 	// from co-observations and swap the trained base in.
-	base := core.Knowledge{
-		mac(0xA0, 1): {BSSID: mac(0xA0, 1), Pos: geom.Pt(-50, 0)},
-		mac(0xA0, 2): {BSSID: mac(0xA0, 2), Pos: geom.Pt(50, 0)},
-		mac(0xA0, 3): {BSSID: mac(0xA0, 3), Pos: geom.Pt(400, 0)},
-	}
+	base := core.NewKnowledge([]core.APInfo{
+		{BSSID: mac(0xA0, 1), Pos: geom.Pt(-50, 0)},
+		{BSSID: mac(0xA0, 2), Pos: geom.Pt(50, 0)},
+		{BSSID: mac(0xA0, 3), Pos: geom.Pt(400, 0)},
+	})
 	e := testEngine(t, Config{
 		Know:      base,
 		Localizer: core.APRadLocalizer{Cfg: core.APRadConfig{MaxRadius: 150}},
@@ -261,7 +258,9 @@ func TestRefreshKnowledgeTrainsAPRad(t *testing.T) {
 		t.Fatal(err)
 	}
 	know := e.Knowledge()
-	if sum := know[mac(0xA0, 1)].MaxRange + know[mac(0xA0, 2)].MaxRange; sum < 100-1e-6 {
+	in1, _ := know.Get(mac(0xA0, 1))
+	in2, _ := know.Get(mac(0xA0, 2))
+	if sum := in1.MaxRange + in2.MaxRange; sum < 100-1e-6 {
 		t.Fatalf("trained radii sum %v < co-observation distance", sum)
 	}
 	est, err := e.Fix(dev, 10)
@@ -282,7 +281,7 @@ func TestRefreshKnowledgeNoopWithoutTrainer(t *testing.T) {
 	if err := e.RefreshKnowledge(); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(e.Knowledge(), k) {
+	if !e.Knowledge().Equal(k) {
 		t.Error("no-op refresh changed the knowledge")
 	}
 }
@@ -357,12 +356,11 @@ func TestTelemetryCountersTrackCache(t *testing.T) {
 	if _, err := e.Fix(devs[0], 50); err != nil { // hit
 		t.Fatal(err)
 	}
-	shifted := make(core.Knowledge, len(k))
-	for m, in := range k {
-		in.Pos = geom.Pt(in.Pos.X+500, in.Pos.Y)
-		shifted[m] = in
+	shifted := k.All()
+	for i := range shifted {
+		shifted[i].Pos = geom.Pt(shifted[i].Pos.X+500, shifted[i].Pos.Y)
 	}
-	e.SetKnowledge(shifted)                       // evicts the one cached entry
+	e.SetKnowledge(core.NewKnowledge(shifted))    // evicts the one cached entry
 	if _, err := e.Fix(devs[0], 50); err != nil { // miss again
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dot11"
+	"repro/internal/geom"
 	"repro/internal/telemetry/trace"
 )
 
@@ -246,7 +247,23 @@ func TestProvenanceKnowledgeGen(t *testing.T) {
 		t.Fatal(err)
 	}
 	p0, _ := tracer.Explain(devs[0].String())
+	// Re-setting identical knowledge is a no-op: invalidation is exact, so
+	// the generation must not move.
 	e.SetKnowledge(k)
+	if _, err := e.Fix(devs[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	pSame, _ := tracer.Explain(devs[0].String())
+	if pSame.KnowledgeGen != p0.KnowledgeGen {
+		t.Errorf("KnowledgeGen %d -> %d across identical SetKnowledge, want unchanged",
+			p0.KnowledgeGen, pSame.KnowledgeGen)
+	}
+	// A real knowledge change bumps the generation the next fix reports.
+	shifted := k.All()
+	for i := range shifted {
+		shifted[i].Pos = geom.Pt(shifted[i].Pos.X+500, shifted[i].Pos.Y)
+	}
+	e.SetKnowledge(core.NewKnowledge(shifted))
 	if _, err := e.Fix(devs[0], 50); err != nil {
 		t.Fatal(err)
 	}
@@ -278,10 +295,7 @@ func TestTheorem2AreaScaling(t *testing.T) {
 
 func TestMeanRange(t *testing.T) {
 	k, _, _ := gridWorld(4, 0)
-	var gamma []core.APInfo
-	for _, in := range k {
-		gamma = append(gamma, in)
-	}
+	gamma := k.All()
 	macs := []dot11.MAC{gamma[0].BSSID, gamma[1].BSSID}
 	if got := meanRange(k, macs); got != 100 {
 		t.Errorf("meanRange = %v, want the grid's uniform 100", got)

@@ -39,7 +39,7 @@ func theorem2Area(k int, meanR float64) float64 {
 func meanRange(k core.Knowledge, gamma []dot11.MAC) float64 {
 	sum, n := 0.0, 0
 	for _, m := range gamma {
-		if in, ok := k[m]; ok && in.MaxRange > 0 {
+		if in, ok := k.Get(m); ok && in.MaxRange > 0 {
 			sum += in.MaxRange
 			n++
 		}

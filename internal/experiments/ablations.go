@@ -152,10 +152,9 @@ func AblationRadiusEstimators(seed int64) (Table, error) {
 }
 
 func withFixedRadius(k core.Knowledge, r float64) core.Knowledge {
-	out := make(core.Knowledge, len(k))
-	for m, in := range k {
-		in.MaxRange = r
-		out[m] = in
+	out := k.All()
+	for i := range out {
+		out[i].MaxRange = r
 	}
-	return out
+	return core.NewKnowledge(out)
 }

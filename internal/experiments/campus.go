@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/apdb"
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/geom"
@@ -92,15 +93,7 @@ func (r *CampusRun) ScanObservations() ([][]dot11.MAC, []geom.Point) {
 
 // worldKnowledge snapshots a world's APs as attacker knowledge.
 func worldKnowledge(w *sim.World, includeRange bool) core.Knowledge {
-	k := make(core.Knowledge, len(w.APs))
-	for _, ap := range w.APs {
-		in := core.APInfo{BSSID: ap.MAC, Pos: ap.Pos}
-		if includeRange {
-			in.MaxRange = ap.MaxRange
-		}
-		k[ap.MAC] = in
-	}
-	return k
+	return core.KnowledgeFromStore(apdb.FromWorld(w, includeRange))
 }
 
 // serpentineRoute builds a walk covering the campus interior (staying off
@@ -504,7 +497,7 @@ func Fig17(run *CampusRun) (Table, error) {
 		for i, gamma := range run.scanGammas {
 			var g []dot11.MAC
 			for _, m := range gamma {
-				if _, ok := know[m]; ok {
+				if _, ok := know.Get(m); ok {
 					g = append(g, m)
 				}
 			}

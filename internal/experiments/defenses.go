@@ -78,10 +78,11 @@ func DefenseEvaluation(seed int64) (Table, error) {
 		}
 	}
 
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 	sn := sniffer.New(sniffer.Config{
 		Pos:   geom.Pt(0, 0),
 		Chain: rf.ChainLNA(),

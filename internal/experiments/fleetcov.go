@@ -52,10 +52,11 @@ func FleetCoverage(seed int64) (Table, error) {
 	interval := total / scans
 	events := sim.WalkTrace(w, victim, total, interval)
 
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 
 	sitePlans := [][]geom.Point{
 		{geom.Pt(0, 0)},

@@ -42,10 +42,11 @@ func PositioningComparison(nTest int, seed int64) (Table, error) {
 	w.APs = aps
 	rng := w.RNG()
 
-	know := make(core.Knowledge, len(aps))
+	knowInfos := make([]core.APInfo, 0, len(aps))
 	for _, ap := range aps {
-		know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+		knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 	}
+	know := core.NewKnowledge(knowInfos)
 
 	model := rf.LogDistance{Exponent: 2.8, RefDistM: 1}
 	rss := sim.RSSModel{PathLoss: model, ShadowingSigmaDB: 4}

@@ -75,10 +75,11 @@ func AblationPropagation(nPositions int, seed int64) (Table, error) {
 		}
 		// Snapshot the attacker's knowledge BEFORE derating: always the
 		// nominal discs.
-		know := make(core.Knowledge, len(w.APs))
+		knowInfos := make([]core.APInfo, 0, len(w.APs))
 		for _, ap := range w.APs {
-			know[ap.MAC] = core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange}
+			knowInfos = append(knowInfos, core.APInfo{BSSID: ap.MAC, Pos: ap.Pos, MaxRange: ap.MaxRange})
 		}
+		know := core.NewKnowledge(knowInfos)
 		v.setup(w)
 
 		rng := w.RNG()

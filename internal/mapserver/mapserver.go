@@ -122,8 +122,9 @@ func (s *State) SetAPs(aps []APMarker) {
 
 // APsFromKnowledge loads the AP layer from a localization knowledge base.
 func (s *State) APsFromKnowledge(k core.Knowledge) {
-	aps := make([]APMarker, 0, len(k))
-	for _, in := range k {
+	all := k.All() // BSSID-sorted, matching the marker ordering below
+	aps := make([]APMarker, 0, len(all))
+	for _, in := range all {
 		aps = append(aps, APMarker{
 			BSSID: in.BSSID.String(),
 			Pos:   in.Pos,

@@ -178,9 +178,9 @@ func TestIndexPage(t *testing.T) {
 func TestAPsFromKnowledgeAndRemove(t *testing.T) {
 	s := NewState()
 	mac := dot11.MAC{0, 0, 0, 0, 0, 9}
-	s.APsFromKnowledge(core.Knowledge{
-		mac: {BSSID: mac, Pos: geom.Pt(1, 2), MaxRange: 50},
-	})
+	s.APsFromKnowledge(core.NewKnowledge([]core.APInfo{
+		{BSSID: mac, Pos: geom.Pt(1, 2), MaxRange: 50},
+	}))
 	aps, _ := s.snapshot()
 	if len(aps) != 1 || aps[0].Range != 50 {
 		t.Fatalf("aps = %+v", aps)

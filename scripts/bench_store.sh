@@ -1,0 +1,64 @@
+#!/bin/sh
+# Benchmark the unified AP store: grid-indexed Within vs the linear scan
+# at 255 / 1e5 / 1e6 APs, the M-Loc candidate path, snapshot
+# publish/cached, the binary codec, and the engine's full map frame on
+# top of the snapshot-backed knowledge. Results land in BENCH_6.json
+# (checked in), and the run fails unless the grid beats the linear scan
+# by >= 50x at 1e6 APs.
+#
+# Usage: sh scripts/bench_store.sh [count] [outfile]
+set -eu
+
+count="${1:-3}"
+outfile="${2:-BENCH_6.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkWithinLinear|BenchmarkWithinGrid|BenchmarkCandidatesFor|BenchmarkSnapshotPublish|BenchmarkSnapshotCached|BenchmarkSnapshotEncode|BenchmarkSnapshotDecode' \
+	-benchtime 0.5s -count "$count" ./internal/apdb | tee "$tmp/raw.txt"
+go test -run '^$' -bench 'BenchmarkEngineSnapshot' \
+	-benchtime 0.5s -count "$count" . | tee -a "$tmp/raw.txt"
+
+gover="$(go env GOVERSION)"
+
+awk -v gover="$gover" -v outfile="$outfile" '
+/^cpu: / { sub(/^cpu: /, ""); cpu = $0; next }
+/^Benchmark/ && / ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") {
+			ns = $i + 0
+			if (!(name in best) || ns < best[name]) best[name] = ns
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+	}
+}
+END {
+	lin = best["BenchmarkWithinLinear/aps=1000000"]
+	grid = best["BenchmarkWithinGrid/aps=1000000"]
+	if (lin == "" || grid == "" || grid <= 0) {
+		print "bench_store: missing 1e6-AP Within benchmarks" > "/dev/stderr"
+		exit 1
+	}
+	speedup = lin / grid
+	printf "{\n" > outfile
+	printf "  \"generated_by\": \"scripts/bench_store.sh\",\n" > outfile
+	printf "  \"go\": \"%s\",\n", gover > outfile
+	printf "  \"cpu\": \"%s\",\n", cpu > outfile
+	printf "  \"grid_speedup_1e6\": %.1f,\n", speedup > outfile
+	printf "  \"benchmarks_ns_per_op\": {\n" > outfile
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": %.1f%s\n", name, best[name], (i < n ? "," : "") > outfile
+	}
+	printf "  }\n}\n" > outfile
+	printf "\ngrid vs linear at 1e6 APs: %.1fx (floor 50x)\n", speedup
+	if (speedup < 50) {
+		print "bench_store: grid speedup below 50x floor" > "/dev/stderr"
+		exit 1
+	}
+}' "$tmp/raw.txt"
+
+echo "wrote $outfile"

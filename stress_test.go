@@ -27,14 +27,15 @@ func TestConcurrentIngestAndSnapshot(t *testing.T) {
 		batchSize = 64
 		nBatches  = 30
 	)
-	know := make(core.Knowledge, nAPs)
+	infos := make([]core.APInfo, nAPs)
 	aps := make([]dot11.MAC, nAPs)
 	for i := range aps {
 		aps[i] = sim.NewMAC(0xA9, i)
-		know[aps[i]] = core.APInfo{
+		infos[i] = core.APInfo{
 			BSSID: aps[i], Pos: geom.Pt(float64(i%8)*50, float64(i/8)*50), MaxRange: 120,
 		}
 	}
+	know := core.NewKnowledge(infos)
 	store := obs.NewStore()
 	eng, err := engine.New(engine.Config{Know: know, Store: store, WindowSec: 60})
 	if err != nil {
