@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke fuzz-smoke bench-ingest bench-store
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke bench-ingest bench-store bench-pr
 
 all: check
 
@@ -41,6 +41,11 @@ bench-ingest:
 bench-store:
 	sh scripts/bench_store.sh
 
+# Regenerate the current PR's versioned perf summary: two mini-soaks
+# (chaos off/on) through the flight recorder into BENCH_7.json.
+bench-pr:
+	sh scripts/soak_smoke.sh
+
 # Short fuzzing burst over every fuzz target: the frame parser, the
 # radiotap splitter, and the sharded store's record ingest. Checked-in
 # corpora under testdata/fuzz replay as plain tests; this keeps mining.
@@ -73,5 +78,11 @@ trace-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+# End-to-end flight-recorder gate: two mini-soaks (chaos off/on) through
+# the FTDC recorder, ftdcdump -check on every record, and a merged
+# BENCH_<pr>.json carrying both runs.
+soak-smoke:
+	sh scripts/soak_smoke.sh
+
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke chaos-smoke bench-store
+check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke bench-store

@@ -6,10 +6,12 @@ package repro
 // doubles as the reproduction's results table.
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dot11"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sim"
+	"repro/internal/telemetry/ftdc"
 )
 
 // lastFloat pulls a float out of a table cell, for reporting headline
@@ -403,6 +406,53 @@ func BenchmarkEngineSnapshot(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineSnapshotFTDC measures the flight recorder's overhead on
+// the serving path: the same full-frame loop as BenchmarkEngineSnapshot,
+// with the recorder off (its nil no-op state) versus sampling the whole
+// process registry every second in the background — the production
+// configuration. The two ns/op figures must stay within a few percent of
+// each other: recording is asynchronous, so a frame never waits on it.
+func BenchmarkEngineSnapshotFTDC(b *testing.B) {
+	know, store := engineBenchWorld(b)
+	newEngine := func() *engine.Engine {
+		eng, err := engine.New(engine.Config{
+			Know: know, Store: store, WindowSec: 60, Workers: 1, CacheSize: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	frameLoop := func(b *testing.B, rec *ftdc.Recorder) {
+		eng := newEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Snapshot(50)
+			// The disabled state costs exactly this nil check per frame.
+			if rec != nil {
+				_ = rec.Status()
+			}
+		}
+	}
+	b.Run("recorder=off", func(b *testing.B) { frameLoop(b, nil) })
+	b.Run("recorder=1s", func(b *testing.B) {
+		rec, err := ftdc.New(ftdc.Config{Dir: b.TempDir(), Interval: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { rec.Run(ctx); close(done) }()
+		frameLoop(b, rec)
+		b.StopTimer()
+		cancel()
+		<-done
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // Ablation: the spherical worst-case model vs obstructed/derated reality

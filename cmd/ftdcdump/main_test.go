@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry/ftdc"
+)
+
+// writeTestFile writes a two-chunk FTDC file with a schema change: chunk
+// one carries (time, requests, heap), chunk two adds a gauge column.
+func writeTestFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ftdc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ftdc.NewWriter(f, 0)
+	colsA := []ftdc.Column{
+		{Name: ftdc.TimeColumn, Kind: ftdc.KindUint},
+		{Name: "requests_total", Kind: ftdc.KindUint},
+		{Name: "heap_bytes", Kind: ftdc.KindFloatBits},
+	}
+	for i := 0; i < 4; i++ {
+		vals := []uint64{
+			uint64(1e9 * (i + 1)),
+			uint64(10 * i),
+			math.Float64bits(float64(1000 + i)),
+		}
+		if err := w.Append(colsA, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	colsB := append(append([]ftdc.Column(nil), colsA...),
+		ftdc.Column{Name: "goroutines", Kind: ftdc.KindFloatBits})
+	for i := 4; i < 6; i++ {
+		vals := []uint64{
+			uint64(1e9 * (i + 1)),
+			uint64(10 * i),
+			math.Float64bits(float64(1000 + i)),
+			math.Float64bits(float64(7)),
+		}
+		if err := w.Append(colsB, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummaryAndCheck(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-check", path}, &out); err != nil {
+		t.Fatalf("-check failed on a sane file: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok (2 chunks, 6 samples)") {
+		t.Fatalf("unexpected -check output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"2 chunks, 6 samples, 4 columns",
+		"requests_total  kind=uint samples=6 min=0 p50=20 p99=50 max=50 first=0 last=50 rate=10/s",
+		"goroutines  kind=float samples=2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestCheckRejectsNonMonotonicAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ftdc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ftdc.NewWriter(f, 0)
+	cols := []ftdc.Column{{Name: ftdc.TimeColumn, Kind: ftdc.KindUint}}
+	for _, ts := range []uint64{5e9, 4e9} {
+		if err := w.Append(cols, []uint64{ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out strings.Builder
+	if err := run([]string{"-check", path}, &out); err == nil || !strings.Contains(err.Error(), "not monotonic") {
+		t.Fatalf("want monotonicity error, got %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.ftdc")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", empty}, &out); err == nil || !strings.Contains(err.Error(), "no samples") {
+		t.Fatalf("want no-samples error, got %v", err)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-format", "json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 JSON lines, got %d", len(lines))
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[5]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["requests_total"].(float64) != 50 {
+		t.Errorf("last requests_total = %v, want 50", last["requests_total"])
+	}
+	if last["goroutines"].(float64) != 7 {
+		t.Errorf("last goroutines = %v, want 7", last["goroutines"])
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasG := first["goroutines"]; hasG {
+		t.Error("first sample should predate the goroutines column")
+	}
+}
+
+func TestCSVUnionSchema(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-format", "csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("want header + 6 rows, got %d", len(recs))
+	}
+	if recs[0][0] != ftdc.TimeColumn {
+		t.Errorf("first CSV column = %q, want %s", recs[0][0], ftdc.TimeColumn)
+	}
+	gi := -1
+	for i, name := range recs[0] {
+		if name == "goroutines" {
+			gi = i
+		}
+	}
+	if gi < 0 {
+		t.Fatal("union header missing goroutines")
+	}
+	if recs[1][gi] != "" {
+		t.Errorf("pre-schema-change cell = %q, want empty", recs[1][gi])
+	}
+	if recs[6][gi] != "7" {
+		t.Errorf("post-schema-change cell = %q, want 7", recs[6][gi])
+	}
+}
+
+func TestMatchFilter(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-match", "^requests", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "heap_bytes") {
+		t.Error("filtered summary still shows heap_bytes")
+	}
+	if !strings.Contains(got, "requests_total") || !strings.Contains(got, ftdc.TimeColumn) {
+		t.Errorf("filtered summary should keep requests_total and the time column:\n%s", got)
+	}
+}

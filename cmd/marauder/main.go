@@ -10,6 +10,7 @@
 //	         [-metrics-addr :9642] [-pprof] [-log-level info] [-log-format text]
 //	         [-trace] [-trace-sample 1] [-trace-buffer 256]
 //	         [-chaos] [-chaos-seed 1] [-checkpoint-dir DIR] [-checkpoint-interval 10s]
+//	         [-ftdc-dir DIR] [-ftdc-interval 1s]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
@@ -31,6 +32,12 @@
 // checkpoints: the newest valid one is restored on start and periodic
 // snapshots are written every -checkpoint-interval, plus a final one on
 // graceful shutdown.
+//
+// -ftdc-dir turns on the flight recorder: every telemetry metric plus Go
+// runtime stats (heap, RSS, GC pause, goroutines, scheduler latency) is
+// appended every -ftdc-interval to a compact delta-encoded binary file in
+// that directory, decodable offline with cmd/ftdcdump; the recorder's
+// progress shows under "ftdc" in the /api/health detail.
 package main
 
 import (
@@ -58,6 +65,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/ftdc"
 	"repro/internal/telemetry/trace"
 	"repro/internal/wardrive"
 )
@@ -91,6 +99,9 @@ type attack struct {
 	// ckpt periodically snapshots the observation store; nil when
 	// -checkpoint-dir is unset.
 	ckpt *obs.Checkpointer
+	// rec is the FTDC flight recorder; nil (recorder disabled) when
+	// -ftdc-dir is unset — every method on it is nil-safe.
+	rec *ftdc.Recorder
 }
 
 // attackOpts is the full build configuration; the positional helpers
@@ -315,6 +326,7 @@ func (a *attack) health(tSec float64) mapserver.Health {
 	if a.ckpt != nil {
 		detail["checkpointGeneration"] = a.ckpt.Generation()
 	}
+	detail["ftdc"] = a.rec.Status()
 	h.Detail = detail
 	return h
 }
@@ -340,6 +352,8 @@ func run(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault plan seed (deterministic per seed)")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for crash-safe observation checkpoints (recovery on start, periodic snapshots while serving)")
 	ckptInterval := fs.Duration("checkpoint-interval", 10*time.Second, "period between observation checkpoints")
+	ftdcDir := fs.String("ftdc-dir", "", "directory for FTDC flight-recorder files (empty = recorder off)")
+	ftdcInterval := fs.Duration("ftdc-interval", time.Second, "flight-recorder sampling period")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,9 +408,28 @@ func run(args []string) error {
 		}
 	}
 
+	// Process runtime health (goroutines, heap, RSS, GC pause, scheduler
+	// latency) registers on the default registry so it shows on /metrics
+	// and in the flight record alongside the pipeline series.
+	runtimeSampler := telemetry.NewRuntimeSampler(nil)
+	runtimeSampler.Sample()
+
 	a, err := buildAttackOpts(opts)
 	if err != nil {
 		return err
+	}
+	if *ftdcDir != "" {
+		rec, err := ftdc.New(ftdc.Config{
+			Dir:      *ftdcDir,
+			Interval: *ftdcInterval,
+			Runtime:  runtimeSampler,
+		})
+		if err != nil {
+			return err
+		}
+		a.rec = rec
+		slog.Info("flight recorder on", "component", "marauder",
+			"path", rec.Path(), "interval", *ftdcInterval)
 	}
 	if *ckptDir != "" {
 		a.ckpt = &obs.Checkpointer{
@@ -417,6 +450,18 @@ func runOnce(a *attack, algo string) error {
 	total := a.route.TotalDuration()
 	a.captureUpTo(0, total)
 	a.drainHeld()
+	// One pass has no sampling loop: take a single end-of-run flight
+	// record sample so the file still captures the final state.
+	if a.rec != nil {
+		defer func() {
+			if err := a.rec.Close(); err != nil {
+				slog.Warn("flight record close failed", "component", "marauder", "err", err)
+			}
+		}()
+		if err := a.rec.Sample(); err != nil {
+			slog.Warn("flight record sample failed", "component", "marauder", "err", err)
+		}
+	}
 	if a.ckpt != nil {
 		if path, err := a.ckpt.CheckpointNow(); err != nil {
 			slog.Warn("final checkpoint failed", "component", "marauder", "err", err)
@@ -491,6 +536,12 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	if a.ckpt != nil {
 		go a.ckpt.Run(ctx)
 	}
+	recDone := make(chan struct{})
+	if a.rec != nil {
+		go func() { a.rec.Run(ctx); close(recDone) }()
+	} else {
+		close(recDone)
+	}
 
 	total := a.route.TotalDuration()
 	simTime := 0.0
@@ -508,6 +559,12 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 				} else {
 					slog.Info("final checkpoint written", "component", "marauder", "path", path)
 				}
+			}
+			// The recorder's Run takes its final sample on ctx cancel;
+			// wait for it, then seal the file.
+			<-recDone
+			if err := a.rec.Close(); err != nil {
+				slog.Warn("flight record close failed", "component", "marauder", "err", err)
 			}
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()

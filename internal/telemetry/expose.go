@@ -96,26 +96,25 @@ type histogramJSON struct {
 
 // WriteJSON renders every registered metric as one flat expvar-style JSON
 // object: counters and gauges as numbers, histograms as
-// {count, sum, buckets}. Labeled instances key as `name{k="v"}`.
+// {count, sum, buckets}. Labeled instances key as `name{k="v"}`. It is a
+// straight serialization of Registry.Snapshot — consumers that want the
+// data structured should call Snapshot directly instead of parsing this.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	out := make(map[string]any)
-	for _, f := range r.snapshotFamilies() {
-		for _, key := range f.labelKeys {
-			series := promSeries(f.name, key, "")
-			switch m := f.instances[key].(type) {
-			case *Counter:
-				out[series] = m.Value()
-			case *Gauge:
-				out[series] = m.Value()
-			case *Histogram:
-				buckets := make(map[string]uint64, len(m.bounds)+1)
-				cum := m.Cumulative()
-				for i, bound := range m.bounds {
-					buckets[formatFloat(bound)] = cum[i]
-				}
-				buckets["+Inf"] = cum[len(cum)-1]
-				out[series] = histogramJSON{Count: m.Count(), Sum: m.Sum(), Buckets: buckets}
+	snap := r.Snapshot()
+	out := make(map[string]any, len(snap))
+	for _, s := range snap {
+		switch s.Kind {
+		case KindCounter:
+			out[s.Series()] = s.Counter
+		case KindGauge:
+			out[s.Series()] = s.Gauge
+		case KindHistogram:
+			buckets := make(map[string]uint64, len(s.Bounds)+1)
+			for i, bound := range s.Bounds {
+				buckets[formatFloat(bound)] = s.Cumulative[i]
 			}
+			buckets["+Inf"] = s.Cumulative[len(s.Cumulative)-1]
+			out[s.Series()] = histogramJSON{Count: s.Count, Sum: s.Sum, Buckets: buckets}
 		}
 	}
 	enc := json.NewEncoder(w)

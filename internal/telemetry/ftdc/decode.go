@@ -1,0 +1,204 @@
+package ftdc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Decode errors. A truncated stream (the tail a crash leaves behind)
+// surfaces as io.ErrUnexpectedEOF; a clean end between chunks is io.EOF.
+var (
+	// ErrBadMagic means the stream position does not start a chunk — the
+	// file is not FTDC or an earlier chunk's length was corrupted.
+	ErrBadMagic = errors.New("ftdc: bad chunk magic")
+	// ErrChecksum means a structurally-parseable chunk failed its CRC.
+	ErrChecksum = errors.New("ftdc: chunk checksum mismatch")
+	// ErrVersion means the chunk declares a format version this decoder
+	// does not speak.
+	ErrVersion = errors.New("ftdc: unsupported chunk version")
+	// ErrFormat covers structural violations (oversized counts, impossible
+	// lengths) detected before the CRC could be verified.
+	ErrFormat = errors.New("ftdc: malformed chunk")
+)
+
+// Decoder streams chunks off an io.Reader. It reads one chunk per Next
+// call and keeps no more than one chunk in memory.
+type Decoder struct {
+	r     *bufio.Reader
+	crc   uint32 // running CRC of the current chunk
+	chunk int    // 0-based index of the chunk being read, for errors
+}
+
+// NewDecoder creates a streaming decoder.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// readByte reads one byte and folds it into the chunk CRC.
+func (d *Decoder) readByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, []byte{b})
+	return b, nil
+}
+
+// readFull fills buf, folding it into the chunk CRC.
+func (d *Decoder) readFull(buf []byte) error {
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, buf)
+	return nil
+}
+
+// readUvarint reads a varint via the CRC-tracking byte reader.
+func (d *Decoder) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(byteReaderFunc(d.readByte))
+	if err != nil && errors.Is(err, io.EOF) {
+		// EOF mid-varint is truncation, not a clean end.
+		err = io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+// byteReaderFunc adapts a func to io.ByteReader.
+type byteReaderFunc func() (byte, error)
+
+func (f byteReaderFunc) ReadByte() (byte, error) { return f() }
+
+// Next decodes and returns the next chunk. It returns io.EOF at a clean
+// end of stream, io.ErrUnexpectedEOF when the stream ends inside a chunk
+// (a crash-truncated tail), and ErrChecksum/ErrBadMagic/ErrVersion/
+// ErrFormat for corruption. Chunks already returned remain valid.
+func (d *Decoder) Next() (*Chunk, error) {
+	d.crc = 0
+	var head [5]byte
+	// A clean EOF before any header byte ends the stream; EOF after at
+	// least one byte is a torn header.
+	first, err := d.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	head[0] = first
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, head[:1])
+	if err := d.readFull(head[1:]); err != nil {
+		return nil, err
+	}
+	if [4]byte{head[0], head[1], head[2], head[3]} != magic {
+		return nil, fmt.Errorf("%w (chunk %d)", ErrBadMagic, d.chunk)
+	}
+	if head[4] != versionLatest {
+		return nil, fmt.Errorf("%w: got %d, support %d (chunk %d)", ErrVersion, head[4], versionLatest, d.chunk)
+	}
+
+	ncols, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > maxColumns {
+		return nil, fmt.Errorf("%w: %d columns (chunk %d)", ErrFormat, ncols, d.chunk)
+	}
+	cols := make([]Column, 0, min(int(ncols), maxColumnCap))
+	for i := uint64(0); i < ncols; i++ {
+		nameLen, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("%w: column name %d bytes (chunk %d)", ErrFormat, nameLen, d.chunk)
+		}
+		name := make([]byte, nameLen)
+		if err := d.readFull(name); err != nil {
+			return nil, err
+		}
+		kind, err := d.readByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if Kind(kind) != KindUint && Kind(kind) != KindFloatBits {
+			return nil, fmt.Errorf("%w: column kind %d (chunk %d)", ErrFormat, kind, d.chunk)
+		}
+		cols = append(cols, Column{Name: string(name), Kind: Kind(kind)})
+	}
+
+	nsamples, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nsamples > maxSamples {
+		return nil, fmt.Errorf("%w: %d samples (chunk %d)", ErrFormat, nsamples, d.chunk)
+	}
+	samples := make([][]uint64, 0, min(int(nsamples), maxSampleCap))
+	prev := make([]uint64, len(cols))
+	for i := uint64(0); i < nsamples; i++ {
+		row := make([]uint64, len(cols))
+		for j := range row {
+			u, err := d.readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev[j] += uint64(unzigzag(u))
+			row[j] = prev[j]
+		}
+		samples = append(samples, row)
+	}
+
+	want := d.crc
+	var sumBytes [4]byte
+	if _, err := io.ReadFull(d.r, sumBytes[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(sumBytes[:]); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x (chunk %d)", ErrChecksum, got, want, d.chunk)
+	}
+	d.chunk++
+	return &Chunk{Columns: cols, Samples: samples}, nil
+}
+
+// ReadAll decodes every chunk in the stream. On error it returns the
+// chunks decoded so far together with the error, so a crash-truncated
+// file still yields its sealed history.
+func ReadAll(r io.Reader) ([]*Chunk, error) {
+	d := NewDecoder(r)
+	var chunks []*Chunk
+	for {
+		c, err := d.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return chunks, nil
+			}
+			return chunks, err
+		}
+		chunks = append(chunks, c)
+	}
+}
+
+// ReadFile decodes every chunk of an FTDC file; see ReadAll for the
+// partial-result contract.
+func ReadFile(path string) ([]*Chunk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}

@@ -1,0 +1,452 @@
+package ftdc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// writeAll drives a Writer over full rows and returns the encoded bytes.
+func writeAll(t *testing.T, chunkCap int, rows []struct {
+	cols []Column
+	vals []uint64
+}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, chunkCap)
+	for _, r := range rows {
+		if err := w.Append(r.cols, r.vals); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Fatalf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestRoundTripExact(t *testing.T) {
+	cols := []Column{
+		{Name: TimeColumn, Kind: KindUint},
+		{Name: "app_frames_total", Kind: KindUint},
+		{Name: "app_workers", Kind: KindFloatBits},
+	}
+	// Values chosen to stress the delta coder: monotonic counters, a
+	// negative-delta gauge, NaN/Inf float bits, extreme uint64 values.
+	rows := [][]uint64{
+		{1700000000000000000, 0, math.Float64bits(4)},
+		{1700000001000000000, 17, math.Float64bits(-3.25)},
+		{1700000002000000000, 17, math.Float64bits(math.Inf(1))},
+		{1700000003000000000, math.MaxUint64, math.Float64bits(math.NaN())},
+		{1700000004000000000, 0, math.Float64bits(0)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	for _, r := range rows {
+		if err := w.Append(cols, r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	chunks, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks, want 1", len(chunks))
+	}
+	c := chunks[0]
+	if len(c.Columns) != len(cols) {
+		t.Fatalf("got %d columns, want %d", len(c.Columns), len(cols))
+	}
+	for j := range cols {
+		if c.Columns[j] != cols[j] {
+			t.Fatalf("column %d = %+v, want %+v", j, c.Columns[j], cols[j])
+		}
+	}
+	if len(c.Samples) != len(rows) {
+		t.Fatalf("got %d samples, want %d", len(c.Samples), len(rows))
+	}
+	for i, r := range rows {
+		for j, v := range r {
+			if c.Samples[i][j] != v {
+				t.Fatalf("cell [%d][%d] = %d, want %d", i, j, c.Samples[i][j], v)
+			}
+		}
+	}
+	// Float decoding follows column kind; NaN bits survive exactly so the
+	// decoded value is NaN again.
+	if !math.IsNaN(c.Float(3, 2)) {
+		t.Fatalf("NaN gauge did not round-trip: %v", c.Float(3, 2))
+	}
+	if c.Float(1, 1) != 17 {
+		t.Fatalf("uint column Float = %v, want 17", c.Float(1, 1))
+	}
+}
+
+func TestSchemaChangeSealsChunk(t *testing.T) {
+	a := []Column{{Name: TimeColumn, Kind: KindUint}, {Name: "x", Kind: KindUint}}
+	b := []Column{
+		{Name: TimeColumn, Kind: KindUint},
+		{Name: "x", Kind: KindUint},
+		{Name: "y", Kind: KindFloatBits}, // column appears
+	}
+	cOnly := []Column{{Name: TimeColumn, Kind: KindUint}} // columns disappear
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 100)
+	must := func(cols []Column, vals []uint64) {
+		t.Helper()
+		if err := w.Append(cols, vals); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	must(a, []uint64{1, 10})
+	must(a, []uint64{2, 11})
+	must(b, []uint64{3, 12, math.Float64bits(0.5)})
+	must(b, []uint64{4, 13, math.Float64bits(1.5)})
+	must(cOnly, []uint64{5})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	chunks, samples, _ := w.Counts()
+	if chunks != 3 || samples != 5 {
+		t.Fatalf("counts = (%d chunks, %d samples), want (3, 5)", chunks, samples)
+	}
+
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d chunks, want 3", len(got))
+	}
+	if len(got[0].Columns) != 2 || len(got[1].Columns) != 3 || len(got[2].Columns) != 1 {
+		t.Fatalf("column widths = %d/%d/%d, want 2/3/1",
+			len(got[0].Columns), len(got[1].Columns), len(got[2].Columns))
+	}
+	if got[1].Samples[0][2] != math.Float64bits(0.5) {
+		t.Fatalf("new column first value wrong: %x", got[1].Samples[0][2])
+	}
+	if got[2].Samples[0][0] != 5 {
+		t.Fatalf("post-shrink sample wrong: %d", got[2].Samples[0][0])
+	}
+}
+
+// TestRoundTripProperty drives randomized schedules — random schemas,
+// random schema changes mid-stream, random values including float bit
+// patterns — and asserts the decode is bit-exact.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		chunkCap := 1 + rng.Intn(10)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, chunkCap)
+
+		// Evolving schema: start with 1..6 columns, occasionally add or
+		// drop one between rows.
+		ncols := 1 + rng.Intn(6)
+		cols := make([]Column, 0, ncols)
+		for i := 0; i < ncols; i++ {
+			cols = append(cols, randColumn(rng, i))
+		}
+		type rec struct {
+			cols []Column
+			vals []uint64
+		}
+		var want []rec
+		nrows := 1 + rng.Intn(40)
+		for i := 0; i < nrows; i++ {
+			if rng.Intn(5) == 0 { // mutate schema
+				if rng.Intn(2) == 0 && len(cols) > 1 {
+					drop := rng.Intn(len(cols))
+					cols = append(cols[:drop:drop], cols[drop+1:]...)
+				} else {
+					cols = append(append([]Column(nil), cols...), randColumn(rng, 100+i))
+				}
+			}
+			vals := make([]uint64, len(cols))
+			for j := range vals {
+				vals[j] = randCell(rng)
+			}
+			if err := w.Append(cols, vals); err != nil {
+				t.Fatalf("trial %d: Append: %v", trial, err)
+			}
+			want = append(want, rec{append([]Column(nil), cols...), append([]uint64(nil), vals...)})
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("trial %d: Flush: %v", trial, err)
+		}
+
+		chunks, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: ReadAll: %v", trial, err)
+		}
+		var got []rec
+		for _, c := range chunks {
+			for _, s := range c.Samples {
+				got = append(got, rec{c.Columns, s})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: decoded %d rows, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i].cols) != len(want[i].cols) {
+				t.Fatalf("trial %d row %d: %d cols, want %d", trial, i, len(got[i].cols), len(want[i].cols))
+			}
+			for j := range want[i].cols {
+				if got[i].cols[j] != want[i].cols[j] {
+					t.Fatalf("trial %d row %d col %d: %+v, want %+v", trial, i, j, got[i].cols[j], want[i].cols[j])
+				}
+				if got[i].vals[j] != want[i].vals[j] {
+					t.Fatalf("trial %d row %d col %d: value %x, want %x", trial, i, j, got[i].vals[j], want[i].vals[j])
+				}
+			}
+		}
+	}
+}
+
+func randColumn(rng *rand.Rand, i int) Column {
+	kind := KindUint
+	if rng.Intn(2) == 1 {
+		kind = KindFloatBits
+	}
+	name := make([]byte, 1+rng.Intn(12))
+	for j := range name {
+		name[j] = byte('a' + rng.Intn(26))
+	}
+	return Column{Name: string(name) + string(rune('0'+i%10)), Kind: kind}
+}
+
+func randCell(rng *rand.Rand) uint64 {
+	switch rng.Intn(4) {
+	case 0:
+		return rng.Uint64() // arbitrary bits (float bit patterns included)
+	case 1:
+		return uint64(rng.Intn(1000)) // small counter-ish value
+	case 2:
+		return math.Float64bits(rng.NormFloat64())
+	default:
+		return math.MaxUint64 - uint64(rng.Intn(3))
+	}
+}
+
+func TestAppendLengthMismatch(t *testing.T) {
+	w := NewWriter(io.Discard, 0)
+	err := w.Append([]Column{{Name: "x", Kind: KindUint}}, []uint64{1, 2})
+	if err == nil {
+		t.Fatal("mismatched cols/vals accepted")
+	}
+}
+
+func TestAppendCopiesInputs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 100)
+	cols := []Column{{Name: "x", Kind: KindUint}}
+	vals := []uint64{7}
+	if err := w.Append(cols, vals); err != nil {
+		t.Fatal(err)
+	}
+	// The recorder reuses its scratch slices between samples; the writer
+	// must have detached from them.
+	cols[0].Name = "mutated"
+	vals[0] = 99
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("ReadAll: %v (%d chunks)", err, len(chunks))
+	}
+	if chunks[0].Columns[0].Name != "x" || chunks[0].Samples[0][0] != 7 {
+		t.Fatalf("writer aliased caller slices: %+v %v", chunks[0].Columns, chunks[0].Samples)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	data := writeAll(t, 0, []struct {
+		cols []Column
+		vals []uint64
+	}{
+		{[]Column{{Name: "x", Kind: KindUint}}, []uint64{1}},
+		{[]Column{{Name: "x", Kind: KindUint}}, []uint64{2}},
+	})
+	// Flip one payload bit (past magic+version so the header still parses).
+	for _, pos := range []int{6, len(data) / 2, len(data) - 1} {
+		corrupted := append([]byte(nil), data...)
+		corrupted[pos] ^= 0x01
+		_, err := ReadAll(bytes.NewReader(corrupted))
+		if err == nil {
+			t.Fatalf("bit flip at %d went undetected", pos)
+		}
+	}
+	// Specifically a payload flip must surface ErrChecksum (header flips
+	// may fail structurally first, which is fine).
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)-5] ^= 0x01 // last payload byte before the CRC
+	if _, err := ReadAll(bytes.NewReader(corrupted)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload flip error = %v, want ErrChecksum", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("JUNKJUNKJUNK"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage error = %v, want ErrBadMagic", err)
+	}
+	data := writeAll(t, 0, []struct {
+		cols []Column
+		vals []uint64
+	}{{[]Column{{Name: "x", Kind: KindUint}}, []uint64{1}}})
+	data[4] = 99 // version byte
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future-version error = %v, want ErrVersion", err)
+	}
+}
+
+func TestTruncationKeepsSealedChunks(t *testing.T) {
+	// Two sealed chunks; cut the stream inside the second.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 2)
+	cols := []Column{{Name: TimeColumn, Kind: KindUint}, {Name: "x", Kind: KindUint}}
+	for i := uint64(0); i < 4; i++ {
+		if err := w.Append(cols, []uint64{1000 + i, i * i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chunk cap 2 → both chunks sealed automatically.
+	data := buf.Bytes()
+	if c, _, _ := w.Counts(); c != 2 {
+		t.Fatalf("expected 2 sealed chunks, got %d", c)
+	}
+	for cut := len(data) - 1; cut > len(data)/2; cut-- {
+		chunks, err := ReadAll(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d not reported", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation at %d: err = %v, want ErrUnexpectedEOF or ErrChecksum", cut, err)
+		}
+		if len(chunks) != 1 {
+			t.Fatalf("truncation at %d: kept %d chunks, want the 1 sealed one", cut, len(chunks))
+		}
+		if got := chunks[0].Samples[1][1]; got != 1 {
+			t.Fatalf("surviving chunk corrupted: %d", got)
+		}
+	}
+	// Untruncated decodes fully and cleanly.
+	chunks, err := ReadAll(bytes.NewReader(data))
+	if err != nil || len(chunks) != 2 {
+		t.Fatalf("full decode: %v (%d chunks)", err, len(chunks))
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	chunks, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(chunks) != 0 {
+		t.Fatalf("empty stream: %v (%d chunks)", err, len(chunks))
+	}
+	d := NewDecoder(bytes.NewReader(nil))
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next on empty = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderStreams(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1) // one sample per chunk
+	cols := []Column{{Name: "n", Kind: KindUint}}
+	for i := uint64(0); i < 5; i++ {
+		if err := w.Append(cols, []uint64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i := uint64(0); i < 5; i++ {
+		c, err := d.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if len(c.Samples) != 1 || c.Samples[0][0] != i {
+			t.Fatalf("chunk %d: samples %v", i, c.Samples)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last chunk: %v, want io.EOF", err)
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder: it must never panic
+// or allocate unboundedly, and valid prefixes must decode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FTDC"))
+	valid := appendChunk(nil,
+		[]Column{{Name: TimeColumn, Kind: KindUint}, {Name: "g", Kind: KindFloatBits}},
+		[][]uint64{{1, math.Float64bits(0.5)}, {2, math.Float64bits(1.5)}})
+	f.Add(valid)
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	f.Add(valid[:len(valid)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes without error must be internally consistent and
+		// must re-encode to a decodable stream with identical content.
+		var re []byte
+		for _, c := range chunks {
+			for _, s := range c.Samples {
+				if len(s) != len(c.Columns) {
+					t.Fatalf("row width %d != %d columns", len(s), len(c.Columns))
+				}
+			}
+			re = appendChunk(re, c.Columns, c.Samples)
+		}
+		back, err := ReadAll(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if len(back) != len(chunks) {
+			t.Fatalf("re-encode chunk count %d != %d", len(back), len(chunks))
+		}
+	})
+}
+
+// FuzzRoundTrip fuzzes the encoder side: arbitrary cell values in a
+// two-column schema must survive encode→decode bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(1), uint64(2))
+	f.Add(uint64(math.MaxUint64), uint64(0), uint64(0), uint64(math.MaxUint64))
+	f.Add(math.Float64bits(math.NaN()), math.Float64bits(math.Inf(-1)), uint64(7), uint64(9))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint64) {
+		cols := []Column{{Name: "u", Kind: KindUint}, {Name: "f", Kind: KindFloatBits}}
+		rows := [][]uint64{{a, b}, {c, d}}
+		data := appendChunk(nil, cols, rows)
+		chunks, err := ReadAll(bytes.NewReader(data))
+		if err != nil || len(chunks) != 1 {
+			t.Fatalf("decode: %v (%d chunks)", err, len(chunks))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if chunks[0].Samples[i][j] != rows[i][j] {
+					t.Fatalf("cell [%d][%d]: %x != %x", i, j, chunks[0].Samples[i][j], rows[i][j])
+				}
+			}
+		}
+	})
+}

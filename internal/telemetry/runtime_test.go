@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestRuntimeSamplerSeries(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg)
+
+	// Registration alone makes the series visible, zero-valued.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"marauder_process_goroutines",
+		"marauder_process_heap_bytes",
+		"marauder_process_sys_bytes",
+		"marauder_process_rss_bytes",
+		"marauder_process_gc_cycles_total",
+		"marauder_process_gc_pause_seconds",
+		"marauder_process_gc_max_pause_seconds",
+		"marauder_process_sched_latency_seconds",
+	} {
+		findSeries(t, snap, name)
+	}
+
+	// Force a GC so the cycle counter and pause histogram have something
+	// to fold, then sample.
+	runtime.GC()
+	runtime.GC()
+	s.Sample()
+
+	snap = reg.Snapshot()
+	if g := snap[findSeries(t, snap, "marauder_process_goroutines")]; g.Gauge < 1 {
+		t.Fatalf("goroutine gauge = %v, want >= 1", g.Gauge)
+	}
+	if g := snap[findSeries(t, snap, "marauder_process_heap_bytes")]; g.Gauge <= 0 {
+		t.Fatalf("heap gauge = %v, want > 0", g.Gauge)
+	}
+	if c := snap[findSeries(t, snap, "marauder_process_gc_cycles_total")]; c.Counter == 0 {
+		t.Fatalf("gc cycle counter stayed 0 after runtime.GC")
+	}
+	if h := snap[findSeries(t, snap, "marauder_process_gc_pause_seconds")]; h.Count == 0 {
+		t.Fatalf("gc pause histogram stayed empty after runtime.GC")
+	}
+
+	// Re-sampling without new GC activity must not double count pauses.
+	before := reg.Snapshot()
+	bIdx := findSeries(t, before, "marauder_process_gc_pause_seconds")
+	s.Sample()
+	s.Sample()
+	after := reg.Snapshot()
+	aIdx := findSeries(t, after, "marauder_process_gc_pause_seconds")
+	// GC may legitimately run between samples; the count must only grow
+	// by what the runtime actually recorded, so assert it never shrinks
+	// and that two idle samples do not replay the entire history.
+	if after[aIdx].Count < before[bIdx].Count {
+		t.Fatalf("pause count went backwards: %d -> %d", before[bIdx].Count, after[aIdx].Count)
+	}
+	if after[aIdx].Count > 10*before[bIdx].Count+100 {
+		t.Fatalf("pause count exploded (%d -> %d): cumulative histogram re-folded",
+			before[bIdx].Count, after[aIdx].Count)
+	}
+}
+
+func TestRuntimeSamplerConcurrent(t *testing.T) {
+	s := NewRuntimeSampler(NewRegistry())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				s.Sample()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,15 +2,20 @@
 # Benchmark the unified AP store: grid-indexed Within vs the linear scan
 # at 255 / 1e5 / 1e6 APs, the M-Loc candidate path, snapshot
 # publish/cached, the binary codec, and the engine's full map frame on
-# top of the snapshot-backed knowledge. Results land in BENCH_6.json
-# (checked in), and the run fails unless the grid beats the linear scan
-# by >= 50x at 1e6 APs.
+# top of the snapshot-backed knowledge. The run fails unless the grid
+# beats the linear scan by >= 50x at 1e6 APs.
 #
-# Usage: sh scripts/bench_store.sh [count] [outfile]
+# The raw results become the "micro" section of the versioned summary:
+# awk distills them into a microbenchmark JSON and cmd/soak's merger
+# folds it into BENCH_<pr>.json — the same idiom the soak runs use, so
+# one writer produces every BENCH_<pr>.json.
+#
+# Usage: sh scripts/bench_store.sh [count] [outfile] [pr]
 set -eu
 
 count="${1:-3}"
-outfile="${2:-BENCH_6.json}"
+pr="${3:-6}"
+outfile="${2:-BENCH_${pr}.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -22,7 +27,7 @@ go test -run '^$' -bench 'BenchmarkEngineSnapshot' \
 
 gover="$(go env GOVERSION)"
 
-awk -v gover="$gover" -v outfile="$outfile" '
+awk -v gover="$gover" -v outfile="$tmp/micro.json" '
 /^cpu: / { sub(/^cpu: /, ""); cpu = $0; next }
 /^Benchmark/ && / ns\/op/ {
 	name = $1
@@ -61,4 +66,5 @@ END {
 	}
 }' "$tmp/raw.txt"
 
+go run ./cmd/soak -duration 0 -out "$outfile" -pr "$pr" -merge-micro "$tmp/micro.json"
 echo "wrote $outfile"

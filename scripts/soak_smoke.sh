@@ -1,0 +1,61 @@
+#!/bin/sh
+# soak-smoke: the CI gate for the sustained-load rig and the flight
+# recorder. Runs two mini-soaks (chaos off, then chaos on) against the
+# live in-process engine, lets cmd/soak merge both into one versioned
+# BENCH_<pr>.json, then decodes every flight record with ftdcdump -check
+# — non-empty, strictly monotonic timestamps — and asserts both runs
+# actually ingested traffic. Whole script stays under ~30s.
+#
+# Env overrides: OUT (summary file, default BENCH_7.json), PR (default
+# 7), SOAK_SECS (wall seconds per run, default 4).
+set -eu
+
+OUT="${OUT:-BENCH_7.json}"
+PR="${PR:-7}"
+SOAK_SECS="${SOAK_SECS:-4}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/soak" ./cmd/soak
+go build -o "$TMP/ftdcdump" ./cmd/ftdcdump
+
+# Office traffic is diurnal with sessions starting 08:00-12:00, so a
+# short smoke must start its simulated clock late in that window
+# (-sim-start 11h) or it replays a silent campus.
+run_soak() {
+    "$TMP/soak" -duration "${SOAK_SECS}s" -devices 120 -aps 200 \
+        -speedup 900 -sim-start 11h -tick 50ms -frame-every 250ms \
+        -ftdc-interval 250ms -out "$OUT" -pr "$PR" "$@"
+}
+
+run_soak -ftdc-dir "$TMP/ftdc-off" -run-name chaos_off
+run_soak -ftdc-dir "$TMP/ftdc-on" -run-name chaos_on -chaos
+
+# Every flight record must decode cleanly: at least one sample, strictly
+# monotonic timestamps across chunks.
+found=0
+for f in "$TMP"/ftdc-off/*.ftdc "$TMP"/ftdc-on/*.ftdc; do
+    [ -e "$f" ] || continue
+    found=$((found + 1))
+    "$TMP/ftdcdump" -check "$f"
+done
+if [ "$found" -lt 2 ]; then
+    echo "soak-smoke: expected 2 flight records, found $found" >&2
+    exit 1
+fi
+
+# One summary carries both runs, and both saw real traffic.
+for key in '"chaos_off"' '"chaos_on"' '"ftdc"'; do
+    grep -q "$key" "$OUT" || {
+        echo "soak-smoke: $OUT missing $key" >&2
+        cat "$OUT" >&2
+        exit 1
+    }
+done
+if grep -q '"framesIngested": 0,' "$OUT"; then
+    echo "soak-smoke: a run ingested no frames" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
+
+echo "soak-smoke: ok (2 soaks, $found flight records decoded, wrote $OUT)"
