@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke bench-ingest bench-store bench-pr
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke bench-ingest bench-store bench-churn bench-pr
 
 all: check
 
@@ -41,20 +41,31 @@ bench-ingest:
 bench-store:
 	sh scripts/bench_store.sh
 
+# Incremental-kernel regression gate: MLocTracked + tracker-served area
+# vs the full per-fix recompute on the sliding-Γ churn workload,
+# recorded into BENCH_8.json. Fails unless the incremental kernel holds
+# a >= 5x lead (and allocates nothing) at k≈8.
+bench-churn:
+	sh scripts/bench_churn.sh
+
 # Regenerate the current PR's versioned perf summary: two mini-soaks
-# (chaos off/on) through the flight recorder into BENCH_7.json.
+# (chaos off/on) through the flight recorder plus the churn-kernel gate,
+# all merged into BENCH_8.json.
 bench-pr:
 	sh scripts/soak_smoke.sh
+	sh scripts/bench_churn.sh
 
 # Short fuzzing burst over every fuzz target: the frame parser, the
-# radiotap splitter, and the sharded store's record ingest. Checked-in
-# corpora under testdata/fuzz replay as plain tests; this keeps mining.
+# radiotap splitter, the sharded store's record ingest, and the
+# incremental-region differential oracle. Checked-in corpora under
+# testdata/fuzz replay as plain tests; this keeps mining.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime=10s ./internal/dot11
 	$(GO) test -run xxx -fuzz 'FuzzDecodeRadiotap$$' -fuzztime=10s ./internal/dot11
 	$(GO) test -run xxx -fuzz 'FuzzFrameParse$$' -fuzztime=10s ./internal/dot11
 	$(GO) test -run xxx -fuzz 'FuzzIngest$$' -fuzztime=10s ./internal/obs
 	$(GO) test -run xxx -fuzz 'FuzzSnapshotCodec$$' -fuzztime=10s ./internal/apdb
+	$(GO) test -run xxx -fuzz 'FuzzIncrementalRegion$$' -fuzztime=30s ./internal/geom
 
 fmt:
 	gofmt -l -w .
@@ -85,4 +96,4 @@ soak-smoke:
 	sh scripts/soak_smoke.sh
 
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke bench-store
+check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke bench-store bench-churn

@@ -15,14 +15,16 @@
 //	     [-chaos] [-chaos-seed 1] [-workers 0] [-shards 0]
 //	     [-ftdc-dir DIR] [-ftdc-interval 1s]
 //	     [-out BENCH_7.json] [-pr 7] [-run-name NAME] [-merge-micro FILE]
-//	     [-metrics-addr :9642]
+//	     [-merge-extra NAME=FILE] [-metrics-addr :9642]
 //
 // Each invocation is one run. -out merges the run into the summary file
 // under runs.<run-name> (default chaos_off/chaos_on), so a chaos-off and
 // a chaos-on invocation build one BENCH_<pr>.json between them;
 // -merge-micro additionally embeds a microbenchmark JSON (as
-// scripts/bench_store.sh emits) under "micro" — one idiom produces every
-// BENCH_<pr>.json. With -duration 0 the command only merges.
+// scripts/bench_store.sh emits) under "micro", and -merge-extra embeds
+// any benchmark JSON under a caller-chosen key (scripts/bench_churn.sh
+// uses churn=FILE) — one idiom produces every BENCH_<pr>.json. With
+// -duration 0 the command only merges.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -79,6 +82,7 @@ type soakConfig struct {
 	PR          int
 	RunName     string
 	MergeMicro  string
+	MergeExtra  []string // NAME=FILE pairs, each embedded under key NAME
 	Tick        time.Duration
 	FrameEvery  time.Duration
 	FixSample   int
@@ -155,6 +159,10 @@ func parseFlags(args []string) (soakConfig, error) {
 	fs.IntVar(&c.PR, "pr", 7, "PR number recorded in the summary")
 	fs.StringVar(&c.RunName, "run-name", "", "summary key for this run (default chaos_off/chaos_on)")
 	fs.StringVar(&c.MergeMicro, "merge-micro", "", "microbenchmark JSON (scripts/bench_store.sh output) to embed under \"micro\"")
+	fs.Func("merge-extra", "NAME=FILE: embed FILE's JSON under top-level key NAME (repeatable)", func(s string) error {
+		c.MergeExtra = append(c.MergeExtra, s)
+		return nil
+	})
 	fs.DurationVar(&c.Tick, "tick", 100*time.Millisecond, "replay step")
 	fs.DurationVar(&c.FrameEvery, "frame-every", 500*time.Millisecond, "full map-frame cadence")
 	fs.IntVar(&c.FixSample, "fix-sample", 16, "devices individually fixed per frame tick for the fix-latency histogram")
@@ -640,6 +648,25 @@ func mergeSummary(cfg soakConfig, summary *runSummary) error {
 			return fmt.Errorf("-merge-micro %s is not JSON: %w", cfg.MergeMicro, err)
 		}
 		doc["micro"] = micro
+	}
+	for _, spec := range cfg.MergeExtra {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || file == "" {
+			return fmt.Errorf("-merge-extra %q: want NAME=FILE", spec)
+		}
+		switch name {
+		case "generated_by", "pr", "go", "runs", "micro":
+			return fmt.Errorf("-merge-extra %q: key %q is reserved", spec, name)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("reading -merge-extra %s: %w", name, err)
+		}
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return fmt.Errorf("-merge-extra %s is not JSON: %w", file, err)
+		}
+		doc[name] = v
 	}
 	return obs.WriteFileAtomic(cfg.Out, func(w io.Writer) error {
 		enc := json.NewEncoder(w)

@@ -117,6 +117,39 @@ func TestMergeMicroAndRunPreservation(t *testing.T) {
 	}
 }
 
+func TestMergeExtraSections(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(out, []byte(`{"runs":{"existing":{"framesIngested":7}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	churn := filepath.Join(dir, "churn.json")
+	if err := os.WriteFile(churn, []byte(`{"kernel_speedup": 5.2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-duration", "0", "-out", out, "-pr", "8", "-merge-extra", "churn=" + churn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := readBench(t, out)
+	if doc["churn"].(map[string]any)["kernel_speedup"].(float64) != 5.2 {
+		t.Errorf("churn section not merged: %v", doc["churn"])
+	}
+	if doc["runs"].(map[string]any)["existing"].(map[string]any)["framesIngested"].(float64) != 7 {
+		t.Errorf("merge clobbered an existing run: %v", doc["runs"])
+	}
+
+	// Malformed specs and reserved keys are rejected outright.
+	for _, spec := range []string{"nofile", "=x", "churn=", "runs=" + churn} {
+		if err := run([]string{"-duration", "0", "-out", out, "-merge-extra", spec}); err == nil {
+			t.Errorf("want error for -merge-extra %q", spec)
+		}
+	}
+	if err := run([]string{"-duration", "0", "-out", out, "-merge-extra", "churn=" + filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("want error for missing -merge-extra file")
+	}
+}
+
 func TestMergeRejectsCorruptInputs(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.json")

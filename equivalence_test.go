@@ -43,9 +43,21 @@ type equivFix struct {
 	K      int    `json:"k,omitempty"`
 }
 
-// equivCompute runs the five algorithms over the deterministic campus and
-// returns every fix in a canonical order.
-func equivCompute(t *testing.T) []equivFix {
+// equivWorld is the deterministic campus fixture shared by the golden
+// suite and the tracked-trajectory suite: one observation store and the
+// three knowledge bases the five algorithms localize against.
+type equivWorld struct {
+	know     core.Knowledge // ground-truth positions and ranges (m-loc, baselines)
+	aprad    core.Knowledge // AP-Rad: true positions, LP-estimated radii
+	aploc    core.Knowledge // AP-Loc: wardriven positions, LP-estimated radii
+	store    *obs.Store
+	victim   dot11.MAC
+	duration float64
+}
+
+// buildEquivWorld simulates the campus walk, captures it, and trains the
+// AP-Rad / AP-Loc knowledge exactly as the golden suite always has.
+func buildEquivWorld(t *testing.T) equivWorld {
 	t.Helper()
 	w, victim, route := buildCampus(t)
 
@@ -88,6 +100,23 @@ func equivCompute(t *testing.T) []equivFix {
 	if err != nil {
 		t.Fatalf("ap-loc radius training: %v", err)
 	}
+	return equivWorld{
+		know:     know,
+		aprad:    aprad,
+		aploc:    aploc,
+		store:    store,
+		victim:   victim.MAC,
+		duration: route.TotalDuration(),
+	}
+}
+
+// equivCompute runs the five algorithms over the deterministic campus and
+// returns every fix in a canonical order.
+func equivCompute(t *testing.T) []equivFix {
+	t.Helper()
+	ew := buildEquivWorld(t)
+	know, aprad, aploc := ew.know, ew.aprad, ew.aploc
+	store, victim, duration := ew.store, ew.victim, ew.duration
 
 	const windowSec = 45.0
 	var fixes []equivFix
@@ -103,10 +132,10 @@ func equivCompute(t *testing.T) []equivFix {
 	}
 	for i := 0; ; i++ {
 		ts := float64(i) * 60
-		if ts > route.TotalDuration() {
+		if ts > duration {
 			break
 		}
-		gamma := store.APSetWindow(victim.MAC, ts-windowSec/2, ts+windowSec/2)
+		gamma := store.APSetWindow(victim, ts-windowSec/2, ts+windowSec/2)
 		if len(gamma) == 0 {
 			continue
 		}

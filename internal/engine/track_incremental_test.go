@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dot11"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/telemetry/trace"
+)
+
+// lineWalkWorld builds the canonical tracked-device fixture: nAPs on a
+// line 30 m apart with 150 m ranges, and one device walking past them so
+// the window centred at t = s·30 observes exactly APs s..s+k−1 — the ±1
+// sliding Γ the incremental region is built for.
+func lineWalkWorld(nAPs, k int) (core.Knowledge, *obs.Store, dot11.MAC, float64) {
+	var aps []core.APInfo
+	for i := 0; i < nAPs; i++ {
+		aps = append(aps, core.APInfo{
+			BSSID:    mac(0xA0, byte(i+1)),
+			Pos:      geom.Pt(float64(i)*30, 0),
+			MaxRange: 150,
+		})
+	}
+	know := core.NewKnowledge(aps)
+	store := obs.NewStore()
+	dev := mac(0xD0, 1)
+	steps := nAPs - k
+	seq := uint16(1)
+	for s := 0; s <= steps; s++ {
+		ts := float64(s) * 30
+		for i := s; i < s+k; i++ {
+			store.Ingest(ts, dot11.NewProbeResponse(aps[i].BSSID, dev, "", 1, seq), true)
+			seq++
+		}
+	}
+	return know, store, dev, float64(steps) * 30
+}
+
+func samePoints(t *testing.T, ctx string, got, want []core.TrackPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d track points, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.TimeSec != w.TimeSec || g.Est.Pos != w.Est.Pos ||
+			g.Est.K != w.Est.K || g.Est.Method != w.Est.Method {
+			t.Fatalf("%s: point %d = %+v, want %+v (not bit-equal)", ctx, i, g, w)
+		}
+		if len(g.Est.Vertices) != len(w.Est.Vertices) {
+			t.Fatalf("%s: point %d has %d vertices, want %d", ctx, i,
+				len(g.Est.Vertices), len(w.Est.Vertices))
+		}
+		for v := range g.Est.Vertices {
+			if g.Est.Vertices[v] != w.Est.Vertices[v] {
+				t.Fatalf("%s: point %d vertex %d = %v, want %v",
+					ctx, i, v, g.Est.Vertices[v], w.Est.Vertices[v])
+			}
+		}
+	}
+}
+
+// TestTrackIncrementalMatchesFull is the through-the-engine differential
+// oracle: Track with the tracked-capable MLocalizer must produce exactly
+// the trajectory the plain full-recompute localizer does, bit for bit,
+// with caching disabled so every fix runs the incremental path.
+func TestTrackIncrementalMatchesFull(t *testing.T) {
+	know, store, dev, endSec := lineWalkWorld(20, 8)
+	inc := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, CacheSize: -1})
+	// LocalizerFunc does not implement TrackedLocalizer, so this engine is
+	// pinned to the from-scratch algorithm.
+	full := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, CacheSize: -1,
+		Localizer: core.LocalizerFunc{Method: "m-loc", Func: core.MLoc}})
+
+	got, err := inc.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("track produced no points")
+	}
+	samePoints(t, "incremental vs full", got, want)
+
+	// The tracked estimates alias the tracker's arena mid-Track; the
+	// materialized output must stay intact across a second Track that
+	// reuses nothing from the first.
+	again, err := inc.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, "first Track after second Track", got, want)
+	samePoints(t, "second Track", again, want)
+}
+
+// TestTrackProvenanceRegionPath pins the observability contract: traced
+// tracked fixes carry the region path ("full" first, then "incremental"
+// with the ±1 diff), and cache hits carry neither.
+func TestTrackProvenanceRegionPath(t *testing.T) {
+	know, store, dev, endSec := lineWalkWorld(20, 8)
+	tracer := testTracer(t, trace.Config{})
+	e := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, CacheSize: -1, Tracer: tracer})
+	pts, err := e.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := tracer.Recent(0)
+	if len(recs) < len(pts) {
+		t.Fatalf("%d trace records for %d track points", len(recs), len(pts))
+	}
+	// Recent returns newest first; walk the Track's fixes oldest first.
+	fixes := recs[:len(pts)]
+	for i := range fixes {
+		p := fixes[len(fixes)-1-i].Provenance
+		if p == nil {
+			t.Fatalf("fix %d: no provenance", i)
+		}
+		wantPath, wantDiff := core.RegionPathIncremental, 2
+		if i == 0 {
+			wantPath, wantDiff = core.RegionPathFull, 8
+		}
+		if p.RegionPath != wantPath || p.RegionDiff != wantDiff {
+			t.Fatalf("fix %d: region path %q diff %d, want %q diff %d",
+				i, p.RegionPath, p.RegionDiff, wantPath, wantDiff)
+		}
+		if p.CacheHit {
+			t.Fatalf("fix %d: cache hit with caching disabled", i)
+		}
+	}
+
+	// With the cache enabled, a second identical Track is served from the
+	// cache: no tracked compute ran, so no region path is attributed.
+	tracer2 := testTracer(t, trace.Config{})
+	cached := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, Tracer: tracer2})
+	if _, err := cached.Track(dev, 0, endSec, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Track(dev, 0, endSec, 30); err != nil {
+		t.Fatal(err)
+	}
+	hits := tracer2.Recent(len(pts))
+	for i, rec := range hits {
+		p := rec.Provenance
+		if p == nil || !p.CacheHit {
+			t.Fatalf("repeat-track record %d: want a cache hit, got %+v", i, p)
+		}
+		if p.RegionPath != "" || p.RegionDiff != 0 {
+			t.Fatalf("repeat-track record %d: cache hit carries region path %q diff %d",
+				i, p.RegionPath, p.RegionDiff)
+		}
+	}
+}
+
+// TestTrackCachedVerticesDetached pins the aliasing contract on the
+// cached path: estimates stored in the Γ cache must not alias the region
+// tracker's arena, or later fixes would corrupt earlier cached results.
+func TestTrackCachedVerticesDetached(t *testing.T) {
+	know, store, dev, endSec := lineWalkWorld(20, 8)
+	cached := testEngine(t, Config{Know: know, Store: store, WindowSec: 30})
+	full := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, CacheSize: -1,
+		Localizer: core.LocalizerFunc{Method: "m-loc", Func: core.MLoc}})
+	want, err := full.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First Track populates the cache while the tracker's arena churns
+	// beneath it; the second is served from the cache alone.
+	first, err := cached.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.Track(dev, 0, endSec, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, "cache-filling Track", first, want)
+	samePoints(t, "cache-served Track", second, want)
+	st := cached.Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("second Track hit the cache 0 times: %+v", st)
+	}
+}
+
+// TestTrackedFixPathZeroAllocs pins the satellite allocation gate at the
+// engine layer: after warmup, one tracked fix — window query, Γ diff,
+// incremental region update, centroid — performs zero allocations.
+func TestTrackedFixPathZeroAllocs(t *testing.T) {
+	know, store, dev, endSec := lineWalkWorld(40, 8)
+	e := testEngine(t, Config{Know: know, Store: store, WindowSec: 30, CacheSize: -1})
+	tl := e.loc.(core.TrackedLocalizer)
+	rt := new(core.RegionTracker)
+	steps := int(endSec/30) + 1
+	var buf []dot11.MAC
+	step := 0
+	fix := func() {
+		ts := float64(step%steps) * 30
+		step++
+		var err error
+		buf, _, _, err = e.fixWindowTracked(buf[:0], dev, ts-15, ts+15, tl, rt)
+		if err != nil {
+			t.Fatalf("fix %d: %v", step, err)
+		}
+	}
+	for i := 0; i < 2*steps; i++ {
+		fix() // warm arenas across the whole cycle, including the wrap rebuild
+	}
+	if avg := testing.AllocsPerRun(300, fix); avg != 0 {
+		t.Fatalf("steady-state tracked fix allocates %.2f times per fix, want 0", avg)
+	}
+}

@@ -4,7 +4,20 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
+
+// areaScratch holds the per-call working storage of IntersectionArea so
+// repeated calls (the engine computes one region per fix) stay off the
+// allocator.
+type areaScratch struct {
+	discs  []Circle
+	events []float64
+}
+
+var areaScratchPool = sync.Pool{
+	New: func() any { return new(areaScratch) },
+}
 
 // IntersectionArea computes the exact area of the intersection region of
 // the closed discs via Green's theorem over the region's boundary arcs:
@@ -18,7 +31,10 @@ import (
 //
 // It returns 0 when the region is empty.
 func IntersectionArea(discs []Circle) float64 {
-	discs = dedupeCircles(discs)
+	sc := areaScratchPool.Get().(*areaScratch)
+	defer areaScratchPool.Put(sc)
+	sc.discs = appendDeduped(sc.discs[:0], discs)
+	discs = sc.discs
 	switch len(discs) {
 	case 0:
 		return 0
@@ -28,7 +44,7 @@ func IntersectionArea(discs []Circle) float64 {
 	total := 0.0
 	for i, ci := range discs {
 		// Angles of intersection events on circle i.
-		events := []float64{}
+		events := sc.events[:0]
 		empty := false
 		for j, cj := range discs {
 			if i == j {
@@ -47,13 +63,18 @@ func IntersectionArea(discs []Circle) float64 {
 				// Disc j entirely inside disc i: circle i's boundary lies
 				// outside disc j everywhere, so circle i contributes nothing.
 				empty = false
-				events = nil
+				events = events[:0]
 				goto nextCircle
 			}
-			for _, p := range ci.Intersect(cj) {
-				events = append(events, math.Atan2(p.Y-ci.C.Y, p.X-ci.C.X))
+			p1, p2, n := ci.intersect2(cj)
+			if n >= 1 {
+				events = append(events, math.Atan2(p1.Y-ci.C.Y, p1.X-ci.C.X))
+			}
+			if n == 2 {
+				events = append(events, math.Atan2(p2.Y-ci.C.Y, p2.X-ci.C.X))
 			}
 		}
+		sc.events = events[:0]
 		if empty {
 			return 0
 		}
@@ -116,20 +137,25 @@ func inAllOthers(p Point, discs []Circle, skip int) bool {
 // dedupeCircles removes circles coincident with an earlier one, which would
 // otherwise double-count boundary contributions.
 func dedupeCircles(discs []Circle) []Circle {
-	out := make([]Circle, 0, len(discs))
+	return appendDeduped(make([]Circle, 0, len(discs)), discs)
+}
+
+// appendDeduped appends discs to dst, skipping circles coincident with one
+// already appended in this call. dst must be empty (length 0).
+func appendDeduped(dst, discs []Circle) []Circle {
 	for _, c := range discs {
 		dup := false
-		for _, o := range out {
+		for _, o := range dst {
 			if c.C.Dist(o.C) < Eps && math.Abs(c.R-o.R) < Eps {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
 }
 
 // MonteCarloArea estimates the intersection area of the discs by rejection

@@ -75,16 +75,30 @@ func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
 // contains the other, one point when they are tangent, and two otherwise.
 // Coincident circles yield zero points.
 func (c Circle) Intersect(o Circle) []Point {
+	p1, p2, n := c.intersect2(o)
+	switch n {
+	case 1:
+		return []Point{p1}
+	case 2:
+		return []Point{p1, p2}
+	}
+	return nil
+}
+
+// intersect2 is the allocation-free core of Intersect: it reports the
+// boundary intersection points in p1 (and p2 when n == 2). The numerics are
+// bit-identical to the original Intersect.
+func (c Circle) intersect2(o Circle) (p1, p2 Point, n int) {
 	d := c.C.Dist(o.C)
 	switch {
 	case d < Eps:
 		// Concentric (possibly coincident): boundaries share either no
 		// points or infinitely many; report none.
-		return nil
+		return Point{}, Point{}, 0
 	case d > c.R+o.R+Eps:
-		return nil // disjoint
+		return Point{}, Point{}, 0 // disjoint
 	case d < math.Abs(c.R-o.R)-Eps:
-		return nil // one strictly inside the other
+		return Point{}, Point{}, 0 // one strictly inside the other
 	}
 	// a is the distance from c.C to the chord's foot along the centre line.
 	a := (d*d + c.R*c.R - o.R*o.R) / (2 * d)
@@ -97,12 +111,10 @@ func (c Circle) Intersect(o Circle) []Point {
 	uy := (o.C.Y - c.C.Y) / d
 	foot := Point{X: c.C.X + a*ux, Y: c.C.Y + a*uy}
 	if h < Eps {
-		return []Point{foot} // tangent
+		return foot, Point{}, 1 // tangent
 	}
-	return []Point{
-		{X: foot.X + h*uy, Y: foot.Y - h*ux},
-		{X: foot.X - h*uy, Y: foot.Y + h*ux},
-	}
+	return Point{X: foot.X + h*uy, Y: foot.Y - h*ux},
+		Point{X: foot.X - h*uy, Y: foot.Y + h*ux}, 2
 }
 
 // LensArea returns the area of the intersection of the two closed discs
@@ -170,24 +182,34 @@ func InAllDiscs(p Point, discs []Circle) bool {
 // to the nearest-AP estimate, matching the paper's observation that with
 // k = 1 disc-intersection reduces to the nearest-AP approach.
 func RegionVertices(discs []Circle) []Point {
+	return AppendRegionVertices(nil, discs)
+}
+
+// AppendRegionVertices is RegionVertices with caller-supplied storage: the
+// vertex set is appended to dst and the extended slice returned. An
+// unchanged dst means the region is empty. The enumeration order and
+// numerics are bit-identical to RegionVertices.
+func AppendRegionVertices(dst []Point, discs []Circle) []Point {
 	switch len(discs) {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return []Point{discs[0].C}
+		return append(dst, discs[0].C)
 	}
-	var verts []Point
+	base := len(dst)
 	for i := 0; i < len(discs); i++ {
 		for j := i + 1; j < len(discs); j++ {
-			for _, p := range discs[i].Intersect(discs[j]) {
-				if InAllDiscs(p, discs) {
-					verts = append(verts, p)
-				}
+			p1, p2, n := discs[i].intersect2(discs[j])
+			if n >= 1 && InAllDiscs(p1, discs) {
+				dst = append(dst, p1)
+			}
+			if n == 2 && InAllDiscs(p2, discs) {
+				dst = append(dst, p2)
 			}
 		}
 	}
-	if len(verts) > 0 {
-		return verts
+	if len(dst) > base {
+		return dst
 	}
 	// No boundary vertices inside all discs. Either the region is empty, or
 	// one disc is contained in all others (region == smallest disc). Detect
@@ -199,9 +221,9 @@ func RegionVertices(discs []Circle) []Point {
 		}
 	}
 	if InAllDiscs(discs[smallest].C, discs) {
-		return []Point{discs[smallest].C}
+		return append(dst, discs[smallest].C)
 	}
-	return nil
+	return dst
 }
 
 // BoundingBox returns the axis-aligned bounding box of the intersection of

@@ -1,0 +1,259 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkRegion is the differential oracle: after any mutation the
+// incremental Region must agree with the from-scratch algorithms on its
+// live key-sorted disc set — area within 1e-9 relative, vertex set
+// bit-exact.
+func checkRegion(t *testing.T, r *Region) {
+	t.Helper()
+	discs := r.AppendCircles(nil)
+	wantArea := IntersectionArea(discs)
+	gotArea := r.Area()
+	tol := 1e-9 * (1 + math.Abs(wantArea))
+	if math.Abs(gotArea-wantArea) > tol {
+		t.Fatalf("k=%d: Area()=%.17g, IntersectionArea=%.17g (diff %g, degen=%v)",
+			len(discs), gotArea, wantArea, gotArea-wantArea, r.Degenerate())
+	}
+	wantV := RegionVertices(discs)
+	gotV := r.AppendVertices(nil)
+	if len(wantV) != len(gotV) {
+		t.Fatalf("k=%d: got %d vertices, want %d (degen=%v)\n got %v\nwant %v",
+			len(discs), len(gotV), len(wantV), r.Degenerate(), gotV, wantV)
+	}
+	for i := range wantV {
+		if wantV[i] != gotV[i] {
+			t.Fatalf("k=%d: vertex %d = %v, want %v (not bit-equal)", len(discs), i, gotV[i], wantV[i])
+		}
+	}
+}
+
+func TestRegionEmptyAndSingle(t *testing.T) {
+	var r Region
+	checkRegion(t, &r)
+	if got := r.Area(); got != 0 {
+		t.Fatalf("empty Area = %g", got)
+	}
+	c := Circle{C: Pt(3, 4), R: 2}
+	r.Add(1, c)
+	checkRegion(t, &r)
+	if got, want := r.Area(), c.Area(); got != want {
+		t.Fatalf("single-disc Area = %g, want %g", got, want)
+	}
+	if !r.Remove(1) {
+		t.Fatal("Remove(1) = false")
+	}
+	if r.Remove(1) {
+		t.Fatal("Remove of absent key = true")
+	}
+	checkRegion(t, &r)
+}
+
+func TestRegionAddPanicsOnDuplicateKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	var r Region
+	r.Add(7, Circle{C: Pt(0, 0), R: 1})
+	r.Add(7, Circle{C: Pt(1, 0), R: 1})
+}
+
+// TestRegionScenarios drives the oracle through hand-picked disc
+// configurations covering every pair relation: lens, chains, containment,
+// disjoint pairs, tangency and coincident centres (degenerate fallback).
+func TestRegionScenarios(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		discs []Circle
+	}{
+		{"lens", []Circle{{Pt(0, 0), 2}, {Pt(3, 0), 2}}},
+		{"three-cross", []Circle{{Pt(0, 0), 2}, {Pt(2, 0), 2}, {Pt(1, 1.5), 2}}},
+		{"contained", []Circle{{Pt(0, 0), 5}, {Pt(0.5, 0), 1}}},
+		{"contained-in-all", []Circle{{Pt(0, 0), 5}, {Pt(1, 0), 6}, {Pt(0.2, 0.1), 1}}},
+		{"disjoint", []Circle{{Pt(0, 0), 1}, {Pt(10, 0), 1}}},
+		{"disjoint-pair-in-chain", []Circle{{Pt(0, 0), 2}, {Pt(3, 0), 2}, {Pt(6, 0), 2}}},
+		{"external-tangent", []Circle{{Pt(0, 0), 1}, {Pt(2, 0), 1}}},
+		{"internal-tangent", []Circle{{Pt(0, 0), 2}, {Pt(1, 0), 1}}},
+		{"coincident-centres", []Circle{{Pt(1, 1), 2}, {Pt(1, 1), 3}}},
+		{"coincident-equal", []Circle{{Pt(1, 1), 2}, {Pt(1, 1), 2}}},
+		{"near-tangent-degen", []Circle{{Pt(0, 0), 1}, {Pt(1.9999999, 0), 1}}},
+		{"line-of-eight", func() []Circle {
+			var ds []Circle
+			for i := 0; i < 8; i++ {
+				ds = append(ds, Circle{C: Pt(float64(i)*30, 0), R: 150})
+			}
+			return ds
+		}()},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var r Region
+			// Build up, checking after every add.
+			for i, c := range sc.discs {
+				r.Add(uint64(i+1), c)
+				checkRegion(t, &r)
+			}
+			// Tear down in insertion order, checking after every remove.
+			for i := range sc.discs {
+				if !r.Remove(uint64(i + 1)) {
+					t.Fatalf("Remove(%d) = false", i+1)
+				}
+				checkRegion(t, &r)
+			}
+		})
+	}
+}
+
+// TestRegionRemoveRestores checks the undo contract directly: adding a
+// disc and removing it restores the exact previous area bits and vertex
+// bytes, for a variety of intruder positions.
+func TestRegionRemoveRestores(t *testing.T) {
+	var r Region
+	base := []Circle{{Pt(0, 0), 3}, {Pt(2, 0), 3}, {Pt(1, 2), 3}}
+	for i, c := range base {
+		r.Add(uint64(i+1), c)
+	}
+	wantArea := r.Area()
+	wantV := r.AppendVertices(nil)
+	intruders := []Circle{
+		{Pt(1, 1), 2},     // crossing
+		{Pt(1, 1), 50},    // contains everything
+		{Pt(1, 0.9), 0.1}, // inside everything
+		{Pt(40, 0), 1},    // disjoint from everything
+		{Pt(0, 0), 3},     // coincident with disc 1 (degenerate-adjacent)
+	}
+	for _, c := range intruders {
+		r.Add(99, c)
+		checkRegion(t, &r)
+		if !r.Remove(99) {
+			t.Fatal("Remove(99) = false")
+		}
+		if got := r.Area(); got != wantArea {
+			t.Fatalf("intruder %v: area %.17g after undo, want %.17g", c, got, wantArea)
+		}
+		got := r.AppendVertices(nil)
+		if len(got) != len(wantV) {
+			t.Fatalf("intruder %v: %d vertices after undo, want %d", c, len(got), len(wantV))
+		}
+		for i := range got {
+			if got[i] != wantV[i] {
+				t.Fatalf("intruder %v: vertex %d = %v, want %v", c, i, got[i], wantV[i])
+			}
+		}
+	}
+}
+
+// TestRegionDegenerateFallback pins the fallback machinery: a coincident
+// pair flips the Region into Degenerate mode, answers stay equal to the
+// full algorithms throughout, and removing the offender flips it back.
+func TestRegionDegenerateFallback(t *testing.T) {
+	var r Region
+	r.Add(1, Circle{C: Pt(0, 0), R: 2})
+	r.Add(2, Circle{C: Pt(1, 0), R: 2})
+	if r.Degenerate() {
+		t.Fatal("lens flagged degenerate")
+	}
+	r.Add(3, Circle{C: Pt(0, 0), R: 2}) // coincident with disc 1
+	if !r.Degenerate() {
+		t.Fatal("coincident circles not flagged degenerate")
+	}
+	checkRegion(t, &r)
+	r.Remove(3)
+	if r.Degenerate() {
+		t.Fatal("degen flag stuck after offender removed")
+	}
+	checkRegion(t, &r)
+}
+
+// TestRegionRandomChurn is the in-process cousin of FuzzIncrementalRegion:
+// a deterministic random add/remove churn with the oracle checked after
+// every step, including a Monte-Carlo cross-check at a few waypoints.
+func TestRegionRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var r Region
+	type live struct {
+		key uint64
+		c   Circle
+	}
+	var set []live
+	nextKey := uint64(1)
+	for step := 0; step < 400; step++ {
+		if len(set) > 0 && (rng.Intn(3) == 0 || len(set) >= 12) {
+			i := rng.Intn(len(set))
+			if !r.Remove(set[i].key) {
+				t.Fatalf("step %d: Remove(%d) = false", step, set[i].key)
+			}
+			set = append(set[:i], set[i+1:]...)
+		} else {
+			c := Circle{
+				C: Pt(float64(rng.Intn(64))/4, float64(rng.Intn(64))/4),
+				R: 1 + float64(rng.Intn(64))/8,
+			}
+			r.Add(nextKey, c)
+			set = append(set, live{nextKey, c})
+			nextKey++
+		}
+		checkRegion(t, &r)
+		if step%100 == 50 && len(set) >= 2 {
+			discs := r.AppendCircles(nil)
+			mc := MonteCarloArea(discs, 200000, rng)
+			got := r.Area()
+			// MC error scales with the bounding-box area.
+			minP, maxP, ok := BoundingBox(discs)
+			if ok {
+				slack := 0.02 * (maxP.X - minP.X) * (maxP.Y - minP.Y)
+				if math.Abs(got-mc) > slack+1e-6 {
+					t.Fatalf("step %d: Area=%g vs Monte-Carlo=%g (slack %g)", step, got, mc, slack)
+				}
+			}
+		}
+	}
+	// Drain and confirm the empty region comes back clean.
+	for _, l := range set {
+		r.Remove(l.key)
+	}
+	checkRegion(t, &r)
+	if r.Len() != 0 || r.Degenerate() {
+		t.Fatalf("drained region not empty: len=%d degen=%v", r.Len(), r.Degenerate())
+	}
+}
+
+// TestRegionSteadyStateAllocs pins the zero-allocation contract on the
+// tracked-device steady state: after warmup, a slide step (remove the
+// trailing disc, add a leading one, read vertices + area) must not
+// allocate.
+func TestRegionSteadyStateAllocs(t *testing.T) {
+	var r Region
+	const k = 8
+	disc := func(i int) Circle { return Circle{C: Pt(float64(i)*30, 0), R: 150} }
+	for i := 0; i < k; i++ {
+		r.Add(uint64(i+1), disc(i))
+	}
+	vbuf := make([]Point, 0, 64)
+	lo, hi := 0, k
+	step := func() {
+		r.Remove(uint64(lo + 1))
+		lo++
+		r.Add(uint64(hi+1), disc(hi))
+		hi++
+		vbuf = r.AppendVertices(vbuf[:0])
+		_ = r.Area()
+	}
+	// Warm up scratch and spare pools.
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Fatalf("steady-state slide allocates %.1f times per step, want 0", avg)
+	}
+	if len(vbuf) == 0 {
+		t.Fatal("slide window produced no vertices")
+	}
+}

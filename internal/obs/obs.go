@@ -622,13 +622,52 @@ func absf(x float64) float64 {
 	return x
 }
 
+// sortMACs sorts in place without allocating: sort.Slice's interface
+// boxing and reflect swapper cost three heap allocations per call, which
+// is the difference between a zero-alloc and a three-alloc window query
+// on the tracked-fix hot path. Window Γs are small, so insertion sort
+// covers the common case; larger slices take an in-place heapsort.
 func sortMACs(ms []dot11.MAC) {
-	sort.Slice(ms, func(i, j int) bool {
-		for k := 0; k < 6; k++ {
-			if ms[i][k] != ms[j][k] {
-				return ms[i][k] < ms[j][k]
+	if len(ms) <= 32 {
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && macLess(ms[j], ms[j-1]); j-- {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
 			}
 		}
-		return false
-	})
+		return
+	}
+	// Heapsort: build a max-heap, then repeatedly swap the root out.
+	for i := len(ms)/2 - 1; i >= 0; i-- {
+		siftDownMACs(ms, i, len(ms))
+	}
+	for end := len(ms) - 1; end > 0; end-- {
+		ms[0], ms[end] = ms[end], ms[0]
+		siftDownMACs(ms, 0, end)
+	}
+}
+
+func siftDownMACs(ms []dot11.MAC, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && macLess(ms[child], ms[child+1]) {
+			child++
+		}
+		if !macLess(ms[root], ms[child]) {
+			return
+		}
+		ms[root], ms[child] = ms[child], ms[root]
+		root = child
+	}
+}
+
+func macLess(a, b dot11.MAC) bool {
+	for k := 0; k < 6; k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
 }

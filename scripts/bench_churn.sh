@@ -1,0 +1,78 @@
+#!/bin/sh
+# Benchmark the incremental disc-intersection kernel against the full
+# per-fix recompute on the sliding-window churn workload (Γ ±1 disc per
+# step, k≈8, caching disabled): BenchmarkTrackChurn/kernel compares
+# MLocTracked + the tracker-served intersected area with MLoc + a
+# from-scratch RegionArea — the region payload of one traced tracked
+# fix on each path. The run fails unless the incremental path wins by
+# >= 5x (best-of-N per side, which is how benchstat summarizes too: the
+# minimum is the least-noise estimate on a shared machine).
+#
+# The engine-level sub-benches ride along into the summary for context
+# but carry no floor: they include window assembly, trace records and
+# store scans on both paths, which dilute the kernel ratio.
+#
+# The distilled JSON lands under "churn" in the versioned BENCH_<pr>.json
+# via cmd/soak -merge-extra — the same single-writer idiom as the soak
+# runs and scripts/bench_store.sh.
+#
+# Usage: sh scripts/bench_churn.sh [count] [outfile] [pr]
+set -eu
+
+count="${1:-4}"
+pr="${3:-8}"
+outfile="${2:-BENCH_${pr}.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTrackChurn' \
+	-benchtime 1s -count "$count" . | tee "$tmp/raw.txt"
+
+gover="$(go env GOVERSION)"
+
+awk -v gover="$gover" -v outfile="$tmp/churn.json" '
+/^cpu: / { sub(/^cpu: /, ""); cpu = $0; next }
+/^Benchmark/ && / ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") {
+			ns = $i + 0
+			if (!(name in best) || ns < best[name]) best[name] = ns
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+		if ($(i + 1) == "allocs/op" && $i + 0 > 0 &&
+		    name ~ /kernel\/path=incremental/) {
+			print "bench_churn: incremental kernel allocates" > "/dev/stderr"
+			exit 1
+		}
+	}
+}
+END {
+	inc = best["BenchmarkTrackChurn/kernel/path=incremental"]
+	full = best["BenchmarkTrackChurn/kernel/path=full"]
+	if (inc == "" || full == "" || inc <= 0) {
+		print "bench_churn: missing kernel benchmarks" > "/dev/stderr"
+		exit 1
+	}
+	speedup = full / inc
+	printf "{\n" > outfile
+	printf "  \"generated_by\": \"scripts/bench_churn.sh\",\n" > outfile
+	printf "  \"go\": \"%s\",\n", gover > outfile
+	printf "  \"cpu\": \"%s\",\n", cpu > outfile
+	printf "  \"kernel_speedup\": %.2f,\n", speedup > outfile
+	printf "  \"benchmarks_ns_per_op\": {\n" > outfile
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    \"%s\": %.1f%s\n", name, best[name], (i < n ? "," : "") > outfile
+	}
+	printf "  }\n}\n" > outfile
+	printf "\nincremental vs full kernel: %.2fx (floor 5x)\n", speedup
+	if (speedup < 5) {
+		print "bench_churn: kernel speedup below 5x floor" > "/dev/stderr"
+		exit 1
+	}
+}' "$tmp/raw.txt"
+
+go run ./cmd/soak -duration 0 -out "$outfile" -pr "$pr" -merge-extra "churn=$tmp/churn.json"
+echo "wrote $outfile"

@@ -6,12 +6,12 @@
 # — non-empty, strictly monotonic timestamps — and asserts both runs
 # actually ingested traffic. Whole script stays under ~30s.
 #
-# Env overrides: OUT (summary file, default BENCH_7.json), PR (default
-# 7), SOAK_SECS (wall seconds per run, default 4).
+# Env overrides: OUT (summary file, default BENCH_8.json), PR (default
+# 8), SOAK_SECS (wall seconds per run, default 4).
 set -eu
 
-OUT="${OUT:-BENCH_7.json}"
-PR="${PR:-7}"
+OUT="${OUT:-BENCH_8.json}"
+PR="${PR:-8}"
 SOAK_SECS="${SOAK_SECS:-4}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT INT TERM
