@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke fuzz-smoke bench-ingest bench-store bench-churn bench-pr
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke profile-smoke fuzz-smoke bench-ingest bench-store bench-churn bench-compare bench-pr
 
 all: check
 
@@ -43,17 +43,25 @@ bench-store:
 
 # Incremental-kernel regression gate: MLocTracked + tracker-served area
 # vs the full per-fix recompute on the sliding-Γ churn workload,
-# recorded into BENCH_8.json. Fails unless the incremental kernel holds
+# recorded into BENCH_9.json. Fails unless the incremental kernel holds
 # a >= 5x lead (and allocates nothing) at k≈8.
 bench-churn:
 	sh scripts/bench_churn.sh
 
+# Perf-regression watchdog: diff the current BENCH_<pr>.json against the
+# previous PR's checked-in baseline and fail on gated regressions (p99
+# blowups, throughput collapse, lost kernel speedup, missing profile).
+bench-compare:
+	sh scripts/bench_compare.sh
+
 # Regenerate the current PR's versioned perf summary: two mini-soaks
 # (chaos off/on) through the flight recorder plus the churn-kernel gate,
-# all merged into BENCH_8.json.
+# all merged into BENCH_9.json, then the regression watchdog against the
+# previous baseline.
 bench-pr:
 	sh scripts/soak_smoke.sh
 	sh scripts/bench_churn.sh
+	sh scripts/bench_compare.sh
 
 # Short fuzzing burst over every fuzz target: the frame parser, the
 # radiotap splitter, the sharded store's record ingest, and the
@@ -95,5 +103,12 @@ chaos-smoke:
 soak-smoke:
 	sh scripts/soak_smoke.sh
 
+# End-to-end profiling/SLO gate: a one-shot marauder run must write all
+# five profile kinds and print a decoded hot-function attribution; a
+# serving run must answer /api/slo and /api/profile with live content
+# and export the stage/SLO metric families.
+profile-smoke:
+	sh scripts/profile_smoke.sh
+
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke bench-store bench-churn
+check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke profile-smoke bench-store bench-churn bench-compare

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	ftdcdump [-format summary|json|csv] [-match REGEX] [-check] file.ftdc...
+//	ftdcdump [-format summary|json|csv] [-match REGEX] [-check]
+//	         [-since TIME] [-until TIME] file.ftdc...
 //
 // Formats:
 //
@@ -19,7 +20,12 @@
 //	         columns absent from a sample's chunk are empty
 //
 // -match keeps only columns whose name matches the regular expression
-// (the timestamp column is always kept). -check additionally asserts the
+// (the timestamp column is always kept). -since and -until cut the
+// recording down to a time range — samples at or after -since and
+// strictly before -until survive; either bound may be an RFC3339 stamp
+// (2026-08-08T12:00:00Z, fractional seconds accepted) or unix seconds
+// (1786500000, fractions accepted) — the shape a soak log or an
+// /api/health report hands you. -check additionally asserts the
 // recording is sane — decodable, at least one sample, strictly monotonic
 // timestamps — and exits non-zero otherwise; the soak smoke test gates on
 // it. A crash-truncated final chunk is reported on stderr but is not an
@@ -37,6 +43,8 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/telemetry/ftdc"
 )
@@ -53,11 +61,13 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "summary", "output format: summary, json or csv")
 	match := fs.String("match", "", "keep only columns matching this regexp (timestamp always kept)")
 	check := fs.Bool("check", false, "assert the recording is sane: non-empty, strictly monotonic timestamps")
+	sinceFlag := fs.String("since", "", "drop samples before this time (RFC3339 or unix seconds)")
+	untilFlag := fs.String("until", "", "drop samples at or after this time (RFC3339 or unix seconds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return errors.New("no input files (usage: ftdcdump [-format summary|json|csv] [-match REGEX] [-check] file.ftdc...)")
+		return errors.New("no input files (usage: ftdcdump [-format summary|json|csv] [-match REGEX] [-check] [-since TIME] [-until TIME] file.ftdc...)")
 	}
 	var matcher *regexp.Regexp
 	if *match != "" {
@@ -65,6 +75,17 @@ func run(args []string, out io.Writer) error {
 		if matcher, err = regexp.Compile(*match); err != nil {
 			return fmt.Errorf("bad -match: %w", err)
 		}
+	}
+	since, err := parseTimeFlag(*sinceFlag, 0)
+	if err != nil {
+		return fmt.Errorf("bad -since: %w", err)
+	}
+	until, err := parseTimeFlag(*untilFlag, math.MaxUint64)
+	if err != nil {
+		return fmt.Errorf("bad -until: %w", err)
+	}
+	if since >= until {
+		return fmt.Errorf("-since %s is not before -until %s", *sinceFlag, *untilFlag)
 	}
 
 	for _, path := range fs.Args() {
@@ -79,6 +100,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		chunks = filterColumns(chunks, matcher)
+		chunks = filterTime(chunks, since, until)
 		if *check {
 			if err := checkSane(chunks); err != nil {
 				return fmt.Errorf("%s: %w", path, err)
@@ -133,6 +155,61 @@ func filterColumns(chunks []*ftdc.Chunk, matcher *regexp.Regexp) []*ftdc.Chunk {
 			fc.Samples = append(fc.Samples, frow)
 		}
 		out = append(out, fc)
+	}
+	return out
+}
+
+// parseTimeFlag resolves a -since/-until value to unix nanoseconds: ""
+// falls back to def, an RFC3339 stamp or a unix-seconds number (both
+// with optional fractional seconds) parses.
+func parseTimeFlag(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		if t.Unix() < 0 {
+			return 0, fmt.Errorf("%q is before the unix epoch", s)
+		}
+		return uint64(t.UnixNano()), nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		if sec < 0 {
+			return 0, fmt.Errorf("%q is before the unix epoch", s)
+		}
+		return uint64(sec * 1e9), nil
+	}
+	return 0, fmt.Errorf("%q is neither RFC3339 nor unix seconds", s)
+}
+
+// filterTime keeps only samples whose timestamp lands in [since, until),
+// in unix nanos. Chunks without a timestamp column pass through intact
+// (-check will flag them anyway), and chunks left empty are dropped.
+func filterTime(chunks []*ftdc.Chunk, since, until uint64) []*ftdc.Chunk {
+	if since == 0 && until == math.MaxUint64 {
+		return chunks
+	}
+	out := make([]*ftdc.Chunk, 0, len(chunks))
+	for _, c := range chunks {
+		tj := -1
+		for j, col := range c.Columns {
+			if col.Name == ftdc.TimeColumn {
+				tj = j
+				break
+			}
+		}
+		if tj < 0 {
+			out = append(out, c)
+			continue
+		}
+		fc := &ftdc.Chunk{Columns: c.Columns}
+		for _, row := range c.Samples {
+			if t := row[tj]; t >= since && t < until {
+				fc.Samples = append(fc.Samples, row)
+			}
+		}
+		if len(fc.Samples) > 0 {
+			out = append(out, fc)
+		}
 	}
 	return out
 }

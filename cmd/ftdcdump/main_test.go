@@ -179,6 +179,46 @@ func TestCSVUnionSchema(t *testing.T) {
 	}
 }
 
+// The test file's timestamps are unix seconds 1..6; slice out the
+// middle with unix-seconds bounds (-since inclusive, -until exclusive).
+func TestTimeRangeFilter(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-check", "-since", "2", "-until", "5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 samples") {
+		t.Fatalf("[2s, 5s) of 1..6s should keep 3 samples: %q", out.String())
+	}
+
+	// RFC3339 bounds resolve to the same cut.
+	out.Reset()
+	since := "1970-01-01T00:00:02Z"
+	until := "1970-01-01T00:00:05Z"
+	if err := run([]string{"-check", "-since", since, "-until", until, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 samples") {
+		t.Fatalf("RFC3339 range should keep 3 samples: %q", out.String())
+	}
+
+	// A range past the recording empties it, which -check reports.
+	if err := run([]string{"-check", "-since", "100", path}, &out); err == nil || !strings.Contains(err.Error(), "no samples") {
+		t.Fatalf("want no-samples error for an out-of-range cut, got %v", err)
+	}
+}
+
+func TestTimeFlagValidation(t *testing.T) {
+	path := writeTestFile(t)
+	var out strings.Builder
+	if err := run([]string{"-since", "yesterday", path}, &out); err == nil || !strings.Contains(err.Error(), "bad -since") {
+		t.Fatalf("want parse error, got %v", err)
+	}
+	if err := run([]string{"-since", "5", "-until", "2", path}, &out); err == nil || !strings.Contains(err.Error(), "not before") {
+		t.Fatalf("want inverted-range error, got %v", err)
+	}
+}
+
 func TestMatchFilter(t *testing.T) {
 	path := writeTestFile(t)
 	var out strings.Builder

@@ -11,6 +11,10 @@
 //	         [-trace] [-trace-sample 1] [-trace-buffer 256]
 //	         [-chaos] [-chaos-seed 1] [-checkpoint-dir DIR] [-checkpoint-interval 10s]
 //	         [-ftdc-dir DIR] [-ftdc-interval 1s]
+//	         [-prof-dir DIR] [-prof-interval 60s] [-prof-cpu 10s]
+//	         [-mutex-profile-fraction 0] [-block-profile-rate 0]
+//	         [-slo SPEC]... [-slo-defaults] [-slo-tick 10s]
+//	         [-stage-sample-every 0]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
@@ -38,6 +42,25 @@
 // appended every -ftdc-interval to a compact delta-encoded binary file in
 // that directory, decodable offline with cmd/ftdcdump; the recorder's
 // progress shows under "ftdc" in the /api/health detail.
+//
+// -prof-dir turns on the continuous profiler: every -prof-interval the
+// process captures CPU (-prof-cpu long), delta-heap, goroutine, mutex and
+// block profiles into rotated size-capped artifacts in that directory and
+// decodes its own CPU capture into the top-N hot-function table served at
+// /api/profile. Mutex and block captures are empty unless their runtime
+// rates are on: -mutex-profile-fraction samples 1/n of contention events
+// and -block-profile-rate records blocking ≥ n nanoseconds (both also
+// activate /debug/pprof/mutex and /debug/pprof/block under -pprof).
+//
+// -slo declares a service-level objective
+// (latency:<name>:<series>:<seconds>:<target> or
+// availability:<name>:<totalSeries>:<badSeries>:<target>, repeatable);
+// -slo-defaults installs the built-in fix-latency and fix-availability
+// objectives. Objectives are evaluated every -slo-tick over multi-window
+// error budgets, served at /api/slo, and folded into /api/health reasons
+// while burning or exhausted. -stage-sample-every times the per-stage
+// histograms (marauder_stage_seconds) on every Nth fix (0 = default 16,
+// 1 = every fix, negative = off).
 package main
 
 import (
@@ -66,6 +89,8 @@ import (
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/ftdc"
+	"repro/internal/telemetry/prof"
+	"repro/internal/telemetry/slo"
 	"repro/internal/telemetry/trace"
 	"repro/internal/wardrive"
 )
@@ -102,6 +127,12 @@ type attack struct {
 	// rec is the FTDC flight recorder; nil (recorder disabled) when
 	// -ftdc-dir is unset — every method on it is nil-safe.
 	rec *ftdc.Recorder
+	// prof is the continuous profiler; nil (disabled) when -prof-dir is
+	// unset — every method on it is nil-safe.
+	prof *prof.Profiler
+	// slos tracks service-level objectives; nil (disabled) when no -slo
+	// flags are given — every method on it is nil-safe.
+	slos *slo.Tracker
 }
 
 // attackOpts is the full build configuration; the positional helpers
@@ -119,6 +150,8 @@ type attackOpts struct {
 	// Store, when non-nil, seeds the engine with a recovered observation
 	// store instead of an empty one.
 	Store *obs.Store
+	// StageSampleEvery forwards to engine.Config.StageSampleEvery.
+	StageSampleEvery int
 }
 
 // newLocalizer maps an -algo name to its Localizer and the knowledge base
@@ -240,12 +273,13 @@ func buildAttackOpts(o attackOpts) (*attack, error) {
 		store = obs.NewStoreShards(o.Shards)
 	}
 	eng, err := engine.New(engine.Config{
-		Know:      base,
-		Store:     store,
-		Localizer: locate,
-		WindowSec: 45,
-		Workers:   o.Workers,
-		Tracer:    o.Tracer,
+		Know:             base,
+		Store:            store,
+		Localizer:        locate,
+		WindowSec:        45,
+		Workers:          o.Workers,
+		Tracer:           o.Tracer,
+		StageSampleEvery: o.StageSampleEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -319,6 +353,12 @@ func (a *attack) health(tSec float64) mapserver.Health {
 			h.Reasons = append(h.Reasons, fmt.Sprintf("card channel %d down", c.Channel))
 		}
 	}
+	// A burning or exhausted error budget degrades the pipeline: the map
+	// is up, but it is failing its users faster than the SLO allows.
+	if rs := a.slos.HealthReasons(); len(rs) > 0 {
+		h.Status = mapserver.StatusDegraded
+		h.Reasons = append(h.Reasons, rs...)
+	}
 	detail := map[string]any{"engine": eh, "cards": cards}
 	if a.plan.Enabled() {
 		detail["faults"] = a.plan.Counters()
@@ -327,6 +367,7 @@ func (a *attack) health(tSec float64) mapserver.Health {
 		detail["checkpointGeneration"] = a.ckpt.Generation()
 	}
 	detail["ftdc"] = a.rec.Status()
+	detail["profiler"] = a.prof.Status()
 	h.Detail = detail
 	return h
 }
@@ -354,9 +395,27 @@ func run(args []string) error {
 	ckptInterval := fs.Duration("checkpoint-interval", 10*time.Second, "period between observation checkpoints")
 	ftdcDir := fs.String("ftdc-dir", "", "directory for FTDC flight-recorder files (empty = recorder off)")
 	ftdcInterval := fs.Duration("ftdc-interval", time.Second, "flight-recorder sampling period")
+	profDir := fs.String("prof-dir", "", "directory for continuous-profiler artifacts (empty = profiler off)")
+	profInterval := fs.Duration("prof-interval", 60*time.Second, "pause between profiler capture cycles")
+	profCPU := fs.Duration("prof-cpu", 10*time.Second, "CPU capture length per profiler cycle")
+	mutexFrac := fs.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events into /debug/pprof/mutex (0 = off)")
+	blockRate := fs.Int("block-profile-rate", 0, "record goroutine blocking lasting >= n ns into /debug/pprof/block (0 = off)")
+	var sloObjs []slo.Objective
+	fs.Func("slo", "SLO spec, repeatable: latency:<name>:<series>:<seconds>:<target> or availability:<name>:<totalSeries>:<badSeries>:<target>", func(s string) error {
+		o, err := slo.ParseObjectiveSpec(s)
+		if err != nil {
+			return err
+		}
+		sloObjs = append(sloObjs, o)
+		return nil
+	})
+	sloDefaults := fs.Bool("slo-defaults", false, "track the built-in fix-latency and fix-availability objectives")
+	sloTick := fs.Duration("slo-tick", 10*time.Second, "SLO evaluation period")
+	stageEvery := fs.Int("stage-sample-every", 0, "time per-stage histograms every Nth fix (0 = default 16, 1 = every fix, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	telemetry.SetProfileRates(*mutexFrac, *blockRate)
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
 	}
@@ -382,7 +441,7 @@ func run(args []string) error {
 		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
-	opts := attackOpts{Seed: *seed, APs: *nAPs, Algo: *algo, Workers: *workers, Shards: *shards, Tracer: tracer}
+	opts := attackOpts{Seed: *seed, APs: *nAPs, Algo: *algo, Workers: *workers, Shards: *shards, Tracer: tracer, StageSampleEvery: *stageEvery}
 	if *chaos {
 		opts.Faults = faults.Aggressive(*chaosSeed)
 		slog.Info("chaos mode on", "component", "marauder", "seed", *chaosSeed)
@@ -431,6 +490,27 @@ func run(args []string) error {
 		slog.Info("flight recorder on", "component", "marauder",
 			"path", rec.Path(), "interval", *ftdcInterval)
 	}
+	if *profDir != "" {
+		p, err := prof.New(prof.Config{Dir: *profDir, Interval: *profInterval, CPUDuration: *profCPU})
+		if err != nil {
+			return err
+		}
+		a.prof = p
+		slog.Info("continuous profiler on", "component", "marauder",
+			"dir", *profDir, "interval", *profInterval, "cpu", *profCPU)
+	}
+	if *sloDefaults {
+		sloObjs = append(slo.DefaultObjectives(), sloObjs...)
+	}
+	if len(sloObjs) > 0 {
+		trk, err := slo.New(slo.Config{Objectives: sloObjs, TickInterval: *sloTick})
+		if err != nil {
+			return err
+		}
+		a.slos = trk
+		slog.Info("slo tracking on", "component", "marauder",
+			"objectives", len(sloObjs), "tick", *sloTick)
+	}
 	if *ckptDir != "" {
 		a.ckpt = &obs.Checkpointer{
 			Dir:      *ckptDir,
@@ -447,6 +527,38 @@ func run(args []string) error {
 }
 
 func runOnce(a *attack, algo string) error {
+	// With the profiler on, one capture cycle runs concurrently with the
+	// pass so the CPU profile covers the actual workload; the cycle is cut
+	// short when the work finishes first.
+	if a.prof != nil {
+		profCtx, profStop := context.WithCancel(context.Background())
+		profDone := make(chan struct{})
+		started := make(chan struct{})
+		go func() {
+			if err := a.prof.CycleSignaled(profCtx, started); err != nil {
+				slog.Warn("profiler cycle failed", "component", "marauder", "err", err)
+			}
+			close(profDone)
+		}()
+		<-started
+		defer func() {
+			profStop()
+			<-profDone
+			if attr := a.prof.Attribution(); attr != nil {
+				if len(attr.TopFunctions) > 0 {
+					hot := attr.TopFunctions[0]
+					fmt.Printf("profile: %d samples, hottest %s (%.1f%% flat), artifacts in %s\n",
+						attr.Samples, hot.Name, 100*hot.FlatShare, a.prof.Status().Dir)
+				} else {
+					fmt.Printf("profile: %d samples (workload too brief for attribution), artifacts in %s\n",
+						attr.Samples, a.prof.Status().Dir)
+				}
+			}
+			if err := a.prof.Close(); err != nil {
+				slog.Warn("profiler close failed", "component", "marauder", "err", err)
+			}
+		}()
+	}
 	total := a.route.TotalDuration()
 	a.captureUpTo(0, total)
 	a.drainHeld()
@@ -519,6 +631,18 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 	state.SetHealthSource(func() mapserver.Health {
 		return a.health(math.Float64frombits(simNow.Load()))
 	})
+	if a.slos != nil {
+		state.SetSLOSource(func() any { return a.slos.Report() })
+	}
+	if a.prof != nil {
+		state.SetProfileSource(func() any {
+			return map[string]any{
+				"enabled":     true,
+				"status":      a.prof.Status(),
+				"attribution": a.prof.Attribution(),
+			}
+		})
+	}
 
 	srv := &http.Server{Addr: addr, Handler: mapserver.NewHandler(state, mapserver.HandlerOpts{Pprof: pprofOn})}
 	errCh := make(chan error, 1)
@@ -541,6 +665,15 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 		go func() { a.rec.Run(ctx); close(recDone) }()
 	} else {
 		close(recDone)
+	}
+	profDone := make(chan struct{})
+	if a.prof != nil {
+		go func() { a.prof.Run(ctx); close(profDone) }()
+	} else {
+		close(profDone)
+	}
+	if a.slos != nil {
+		go a.slos.Run(ctx)
 	}
 
 	total := a.route.TotalDuration()
@@ -565,6 +698,10 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			<-recDone
 			if err := a.rec.Close(); err != nil {
 				slog.Warn("flight record close failed", "component", "marauder", "err", err)
+			}
+			<-profDone
+			if err := a.prof.Close(); err != nil {
+				slog.Warn("profiler close failed", "component", "marauder", "err", err)
 			}
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()

@@ -10,6 +10,16 @@
 //	       [-origin-lat 42.6555] [-origin-lon -71.3254] [-obs store.json] [-shards 0]
 //	       [-trace] [-trace-sample 1] [-trace-buffer 256]
 //	       [-chaos] [-chaos-seed 1] [-checkpoint-dir DIR]
+//	       [-prof-dir DIR] [-prof-cpu 10s]
+//	       [-mutex-profile-fraction 0] [-block-profile-rate 0]
+//	       [-stage-sample-every 0]
+//
+// With -prof-dir one profiler capture cycle runs concurrently with the
+// replay (CPU capture first, cut short when the replay finishes, then
+// heap/goroutine/mutex/block snapshots), and the decoded hot-function
+// attribution is printed at the end. -mutex-profile-fraction and
+// -block-profile-rate turn on the runtime's contention profilers, which
+// otherwise leave the mutex and block captures empty.
 //
 // With -chaos the capture batch runs through the deterministic aggressive
 // fault plan (drops, corruption, duplication, reordering) before ingest;
@@ -26,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +59,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/prof"
 	"repro/internal/telemetry/trace"
 )
 
@@ -84,9 +96,15 @@ func run(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault plan seed (deterministic per seed)")
 	ckptDir := fs.String("checkpoint-dir", "", "restore the newest observation checkpoint before the replay and write one after it")
 	ckptInterval := fs.Duration("checkpoint-interval", 10*time.Second, "checkpoint period (accepted for parity with marauder; one-shot replay writes a single final checkpoint)")
+	profDir := fs.String("prof-dir", "", "directory for profiler artifacts; one capture cycle covers the replay (empty = off)")
+	profCPU := fs.Duration("prof-cpu", 10*time.Second, "maximum CPU capture length (cut short when the replay finishes first)")
+	mutexFrac := fs.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events into the mutex profile (0 = off)")
+	blockRate := fs.Int("block-profile-rate", 0, "record goroutine blocking lasting >= n ns into the block profile (0 = off)")
+	stageEvery := fs.Int("stage-sample-every", 0, "time per-stage histograms every Nth fix (0 = default 16, 1 = every fix, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	telemetry.SetProfileRates(*mutexFrac, *blockRate)
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
 	}
@@ -112,6 +130,38 @@ func run(args []string) error {
 		}()
 		defer msrv.Close()
 		slog.Info("telemetry listening", "component", "replay", "addr", *metricsAddr, "pprof", *pprofOn)
+	}
+	if *profDir != "" {
+		p, err := prof.New(prof.Config{Dir: *profDir, CPUDuration: *profCPU, Interval: *profCPU})
+		if err != nil {
+			return err
+		}
+		profCtx, profStop := context.WithCancel(context.Background())
+		profDone := make(chan struct{})
+		started := make(chan struct{})
+		go func() {
+			if err := p.CycleSignaled(profCtx, started); err != nil {
+				slog.Warn("profiler cycle failed", "component", "replay", "err", err)
+			}
+			close(profDone)
+		}()
+		<-started
+		defer func() {
+			profStop()
+			<-profDone
+			if attr := p.Attribution(); attr != nil {
+				if len(attr.TopFunctions) > 0 {
+					hot := attr.TopFunctions[0]
+					fmt.Printf("profile: %d samples, hottest %s (%.1f%% flat), artifacts in %s\n",
+						attr.Samples, hot.Name, 100*hot.FlatShare, *profDir)
+				} else {
+					fmt.Printf("profile: %d samples (replay too brief for attribution), artifacts in %s\n",
+						attr.Samples, *profDir)
+				}
+			}
+			_ = p.Close()
+		}()
+		slog.Info("profiler on", "component", "replay", "dir", *profDir, "cpu", *profCPU)
 	}
 	proj := geo.NewProjection(geo.LatLon{Lat: *originLat, Lon: *originLon})
 
@@ -208,11 +258,12 @@ func run(args []string) error {
 	}
 
 	eng, err := engine.New(engine.Config{
-		Know:      know,
-		Store:     store,
-		Localizer: locate,
-		WindowSec: 60, // SnapshotRange below spans the whole capture
-		Tracer:    tracer,
+		Know:             know,
+		Store:            store,
+		Localizer:        locate,
+		WindowSec:        60, // SnapshotRange below spans the whole capture
+		Tracer:           tracer,
+		StageSampleEvery: *stageEvery,
 	})
 	if err != nil {
 		return err

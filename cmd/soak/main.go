@@ -14,7 +14,9 @@
 //	     [-duration 30s] [-speedup 600] [-sim-start 8h] [-sniffers 2]
 //	     [-chaos] [-chaos-seed 1] [-workers 0] [-shards 0]
 //	     [-ftdc-dir DIR] [-ftdc-interval 1s]
-//	     [-out BENCH_7.json] [-pr 7] [-run-name NAME] [-merge-micro FILE]
+//	     [-prof] [-prof-dir DIR] [-stage-sample-every 1]
+//	     [-mutex-profile-fraction 0] [-block-profile-rate 0]
+//	     [-out BENCH_9.json] [-pr 9] [-run-name NAME] [-merge-micro FILE]
 //	     [-merge-extra NAME=FILE] [-metrics-addr :9642]
 //
 // Each invocation is one run. -out merges the run into the summary file
@@ -25,6 +27,13 @@
 // any benchmark JSON under a caller-chosen key (scripts/bench_churn.sh
 // uses churn=FILE) — one idiom produces every BENCH_<pr>.json. With
 // -duration 0 the command only merges.
+//
+// The rig self-profiles by default (-prof): one continuous-profiler
+// capture cycle runs concurrently with the load, and the summary gains a
+// "profile" section — sample count, the decoded top-N hot functions, and
+// the per-stage wall-clock shares from the marauder_stage_seconds
+// histograms (the soak times every fix: -stage-sample-every defaults to
+// 1 here, unlike the serving commands' 16).
 package main
 
 import (
@@ -53,6 +62,7 @@ import (
 	"repro/internal/sniffer"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/ftdc"
+	"repro/internal/telemetry/prof"
 )
 
 func main() {
@@ -78,6 +88,11 @@ type soakConfig struct {
 	Shards      int
 	FTDCDir     string
 	FTDCEvery   time.Duration
+	Prof        bool
+	ProfDir     string
+	StageEvery  int
+	MutexFrac   int
+	BlockRate   int
 	Out         string
 	PR          int
 	RunName     string
@@ -134,8 +149,22 @@ type runSummary struct {
 	MaxGCPauseMs   float64 `json:"maxGcPauseMs"`
 	GCCyclesPerMin float64 `json:"gcCyclesPerMin"`
 
-	FTDC   ftdcInfo         `json:"ftdc"`
-	Faults *faults.Counters `json:"faults,omitempty"`
+	FTDC    ftdcInfo         `json:"ftdc"`
+	Faults  *faults.Counters `json:"faults,omitempty"`
+	Profile *profileSummary  `json:"profile,omitempty"`
+}
+
+// profileSummary is the run's self-profile: the decoded hot-function
+// table from the concurrent CPU capture plus the per-stage cost shares
+// from the marauder_stage_seconds histograms' sum deltas.
+type profileSummary struct {
+	Artifacts    string             `json:"artifacts"`
+	CPUPath      string             `json:"cpuPath,omitempty"`
+	Samples      int                `json:"samples"`
+	TotalNanos   int64              `json:"totalNanos,omitempty"`
+	TopFunctions []prof.HotFunc     `json:"topFunctions,omitempty"`
+	StageSeconds map[string]float64 `json:"stageSeconds,omitempty"`
+	StageShares  map[string]float64 `json:"stageShares,omitempty"`
 }
 
 func parseFlags(args []string) (soakConfig, error) {
@@ -155,8 +184,13 @@ func parseFlags(args []string) (soakConfig, error) {
 	fs.IntVar(&c.Shards, "shards", 0, "observation store shard count (0 = GOMAXPROCS-rounded)")
 	fs.StringVar(&c.FTDCDir, "ftdc-dir", "", "flight recorder output directory (empty = a fresh temp dir, path printed)")
 	fs.DurationVar(&c.FTDCEvery, "ftdc-interval", time.Second, "flight recorder sampling interval")
+	fs.BoolVar(&c.Prof, "prof", true, "self-profile the run and record a \"profile\" section in the summary")
+	fs.StringVar(&c.ProfDir, "prof-dir", "", "profiler artifact directory (empty = a fresh temp dir)")
+	fs.IntVar(&c.StageEvery, "stage-sample-every", 1, "time per-stage histograms every Nth fix (the soak times every fix by default)")
+	fs.IntVar(&c.MutexFrac, "mutex-profile-fraction", 0, "sample 1/n of mutex contention events into the mutex profile (0 = off)")
+	fs.IntVar(&c.BlockRate, "block-profile-rate", 0, "record goroutine blocking lasting >= n ns into the block profile (0 = off)")
 	fs.StringVar(&c.Out, "out", "", "BENCH summary file to merge this run into (empty = print summary only)")
-	fs.IntVar(&c.PR, "pr", 7, "PR number recorded in the summary")
+	fs.IntVar(&c.PR, "pr", 9, "PR number recorded in the summary")
 	fs.StringVar(&c.RunName, "run-name", "", "summary key for this run (default chaos_off/chaos_on)")
 	fs.StringVar(&c.MergeMicro, "merge-micro", "", "microbenchmark JSON (scripts/bench_store.sh output) to embed under \"micro\"")
 	fs.Func("merge-extra", "NAME=FILE: embed FILE's JSON under top-level key NAME (repeatable)", func(s string) error {
@@ -377,6 +411,29 @@ func histDelta(start, end []telemetry.Sample, series string) latencyStats {
 	return ls
 }
 
+// stageSumDeltas extracts the per-stage wall-clock seconds spent during
+// the run: the sum delta of every marauder_stage_seconds{stage=...}
+// histogram between the start and end registry snapshots.
+func stageSumDeltas(start, end []telemetry.Sample) map[string]float64 {
+	base := make(map[string]float64)
+	for _, s := range start {
+		if s.Name == "marauder_stage_seconds" {
+			base[s.Labels] = s.Sum
+		}
+	}
+	out := make(map[string]float64)
+	for _, s := range end {
+		if s.Name != "marauder_stage_seconds" {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(s.Labels, `stage="`), `"`)
+		if d := s.Sum - base[s.Labels]; d > 0 {
+			out[stage] = round4(d)
+		}
+	}
+	return out
+}
+
 // maxColumn scans decoded FTDC chunks for the highest value of a column.
 func maxColumn(chunks []*ftdc.Chunk, name string) float64 {
 	best := math.Inf(-1)
@@ -414,11 +471,12 @@ func soak(cfg soakConfig) (*runSummary, error) {
 		plan = faults.Aggressive(cfg.ChaosSeed)
 	}
 	eng, err := engine.New(engine.Config{
-		Know:      know,
-		Store:     obs.NewStoreShards(cfg.Shards),
-		Localizer: loc,
-		WindowSec: 60,
-		Workers:   cfg.Workers,
+		Know:             know,
+		Store:            obs.NewStoreShards(cfg.Shards),
+		Localizer:        loc,
+		WindowSec:        60,
+		Workers:          cfg.Workers,
+		StageSampleEvery: cfg.StageEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -453,8 +511,46 @@ func soak(cfg soakConfig) (*runSummary, error) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // explicit cancel below; this covers the error returns
 	recDone := make(chan struct{})
 	go func() { rec.Run(ctx); close(recDone) }()
+
+	// Self-profile: one capture cycle concurrent with the load, CPU
+	// capture sized to sit inside the soak window.
+	var profiler *prof.Profiler
+	profDone := make(chan struct{})
+	profDir := cfg.ProfDir
+	if cfg.Prof {
+		telemetry.SetProfileRates(cfg.MutexFrac, cfg.BlockRate)
+		if profDir == "" {
+			if profDir, err = os.MkdirTemp("", "soak-prof-"); err != nil {
+				return nil, err
+			}
+		}
+		cpuDur := cfg.Duration / 2
+		if cpuDur > 10*time.Second {
+			cpuDur = 10 * time.Second
+		}
+		profiler, err = prof.New(prof.Config{
+			Dir:         profDir,
+			Interval:    cfg.Duration + time.Hour, // one cycle per run
+			CPUDuration: cpuDur,
+			FilePrefix:  "soak",
+		})
+		if err != nil {
+			return nil, err
+		}
+		started := make(chan struct{})
+		go func() {
+			if cerr := profiler.CycleSignaled(ctx, started); cerr != nil {
+				slog.Warn("self-profile cycle failed", "component", "soak", "err", cerr)
+			}
+			close(profDone)
+		}()
+		<-started
+	} else {
+		close(profDone)
+	}
 
 	slog.Info("soak starting", "component", "soak",
 		"devices", cfg.Devices, "aps", cfg.APs, "algo", cfg.Algo,
@@ -559,7 +655,8 @@ func soak(cfg soakConfig) (*runSummary, error) {
 	}
 	wall := time.Since(wallStart).Seconds()
 	cancel()
-	<-recDone // Run's final sample lands before Close seals the file
+	<-recDone  // Run's final sample lands before Close seals the file
+	<-profDone // the profile cycle is cut short if still capturing
 	if err := rec.Close(); err != nil {
 		return nil, err
 	}
@@ -603,6 +700,28 @@ func soak(cfg soakConfig) (*runSummary, error) {
 	if plan.Enabled() {
 		c := plan.Counters()
 		summary.Faults = &c
+	}
+	if profiler != nil {
+		ps := &profileSummary{Artifacts: profDir}
+		if attr := profiler.Attribution(); attr != nil {
+			ps.CPUPath = attr.Path
+			ps.Samples = attr.Samples
+			ps.TotalNanos = attr.TotalNanos
+			ps.TopFunctions = attr.TopFunctions
+		}
+		ps.StageSeconds = stageSumDeltas(startSnap, endSnap)
+		var total float64
+		for _, v := range ps.StageSeconds {
+			total += v
+		}
+		if total > 0 {
+			ps.StageShares = make(map[string]float64, len(ps.StageSeconds))
+			for k, v := range ps.StageSeconds {
+				ps.StageShares[k] = round4(v / total)
+			}
+		}
+		summary.Profile = ps
+		_ = profiler.Close()
 	}
 	slog.Info("soak finished", "component", "soak",
 		"wall_sec", summary.WallSeconds, "sim_sec", summary.SimSeconds,

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
@@ -57,6 +58,11 @@ type Config struct {
 	// RefreshBackoff is the first retry's delay, doubled per further
 	// attempt; 0 means the default (25ms), negative disables the sleep.
 	RefreshBackoff time.Duration
+	// StageSampleEvery times the fix-path stage histograms
+	// (marauder_stage_seconds, marauder_fix_seconds) on every Nth fix:
+	// 0 means the default (16), 1 times every fix, negative disables
+	// stage timing. Unsampled fixes pay one atomic add.
+	StageSampleEvery int
 }
 
 // Engine runs the concurrent ingest→observe→localize pipeline. It is safe
@@ -85,6 +91,11 @@ type Engine struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	// stageEvery/stageCtr drive deterministic 1-in-N stage timing on the
+	// fix path; stageEvery 0 disables it.
+	stageEvery uint64
+	stageCtr   atomic.Uint64
 
 	// trainedOnce flips when a training run first succeeds: from then on a
 	// failed refresh degrades to the last-known-good knowledge instead of
@@ -168,6 +179,13 @@ func New(cfg Config) (*Engine, error) {
 	} else if backoff < 0 {
 		backoff = 0
 	}
+	stageEvery := uint64(16)
+	switch {
+	case cfg.StageSampleEvery < 0:
+		stageEvery = 0
+	case cfg.StageSampleEvery > 0:
+		stageEvery = uint64(cfg.StageSampleEvery)
+	}
 	e := &Engine{
 		loc:             loc,
 		windowSec:       cfg.WindowSec,
@@ -178,6 +196,7 @@ func New(cfg Config) (*Engine, error) {
 		tracer:          cfg.Tracer,
 		refreshAttempts: attempts,
 		refreshBackoff:  backoff,
+		stageEvery:      stageEvery,
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -227,6 +246,8 @@ func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
 	if len(caps) == 0 {
 		return 0
 	}
+	ingestStart := time.Now()
+	defer mStageIngest.ObserveSince(ingestStart)
 	var tr *trace.Trace
 	if e.tracer != nil {
 		tr = e.tracer.Start(trace.KindIngest, "")
@@ -507,6 +528,14 @@ func (e *Engine) fixWindowTracked(buf []dot11.MAC, dev dot11.MAC, start, end flo
 	if e.tracer != nil {
 		tr = e.tracer.Start(trace.KindFix, dev.String())
 	}
+	// Deterministic 1-in-N stage timing: adjacent stages share clock
+	// reads, so a timed fix costs four time.Now calls and an untimed one
+	// costs a single atomic add.
+	timed := e.stageEvery != 0 && e.stageCtr.Add(1)%e.stageEvery == 0
+	var t0, t1, t2 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	if tr != nil {
 		sp := tr.StartSpan("window-query")
 		buf = e.Store().AppendAPSetWindowTrace(buf, dev, start, end, sp)
@@ -514,7 +543,22 @@ func (e *Engine) fixWindowTracked(buf []dot11.MAC, dev dot11.MAC, start, end flo
 	} else {
 		buf = e.Store().AppendAPSetWindow(buf, dev, start, end)
 	}
+	if timed {
+		t1 = time.Now()
+		mStageWindow.Observe(t1.Sub(t0).Seconds())
+	}
 	est, know, hit, trackedCompute, err := e.locateGammaTracked(buf, tr, tl, rt)
+	if timed {
+		t2 = time.Now()
+		// The middle stage is the incremental region update when the
+		// tracked path computed, plain localization otherwise (cache hits
+		// included — a hit's lookup time is localization cost).
+		if trackedCompute {
+			mStageRegion.Observe(t2.Sub(t1).Seconds())
+		} else {
+			mStageLocalize.Observe(t2.Sub(t1).Seconds())
+		}
+	}
 	// Provenance reads the tracker's path/diff only for fixes the tracked
 	// path actually computed; cache hits and untracked fixes pass nil.
 	var trt *core.RegionTracker
@@ -522,6 +566,14 @@ func (e *Engine) fixWindowTracked(buf []dot11.MAC, dev dot11.MAC, start, end flo
 		trt = rt
 	}
 	e.finishFix(tr, dev, buf, know, est, err, hit, start, end, trt)
+	if timed {
+		t3 := time.Now()
+		mStageTrace.Observe(t3.Sub(t2).Seconds())
+		mFixSeconds.Observe(t3.Sub(t0).Seconds())
+	}
+	if err != nil && !errors.Is(err, core.ErrNoAPs) {
+		mFixErrors.Inc()
+	}
 	return buf, est, trackedCompute && e.cache == nil, err
 }
 
@@ -602,7 +654,9 @@ func (e *Engine) SnapshotRange(start, end float64) map[dot11.MAC]core.Estimate {
 		mSnapshotSeconds.ObserveSince(began)
 	}()
 	store := e.Store()
+	scanStart := time.Now()
 	devs := store.Devices()
+	mStageScan.ObserveSince(scanStart)
 	out := make(map[dot11.MAC]core.Estimate, len(devs))
 	workers := e.workers
 	if workers > len(devs) {

@@ -46,6 +46,39 @@ var (
 		"RefreshKnowledge calls that exhausted retries and kept the last-known-good knowledge.", nil)
 )
 
+// Per-stage wall-time histograms for the fix/ingest hot paths — the
+// always-on version of the stage durations sampled traces carry, so the
+// engine-level cost breakdown is a /metrics scrape away. Fix-path stages
+// (window_assembly, localize, region_update, trace_record) are sampled
+// 1-in-N (Config.StageSampleEvery) to keep the cached-fix path inside
+// the perf gate; batch-level stages (store_scan, ingest) are timed on
+// every occurrence. All stages share one sampling rate, so stage *shares*
+// computed from the sums are unbiased.
+var (
+	mStageWindow   = stageSeconds("window_assembly")
+	mStageLocalize = stageSeconds("localize")
+	mStageRegion   = stageSeconds("region_update")
+	mStageTrace    = stageSeconds("trace_record")
+	mStageScan     = stageSeconds("store_scan")
+	mStageIngest   = stageSeconds("ingest")
+	mFixSeconds    = telemetry.Default().Histogram(
+		"marauder_fix_seconds",
+		"End-to-end wall time per localization fix (sampled 1-in-N with the stage histograms).",
+		telemetry.LatencyBuckets(), nil)
+	mFixErrors = telemetry.Default().Counter(
+		"marauder_engine_fix_errors_total",
+		"Fixes that failed for a reason other than an empty observation window.", nil)
+)
+
+// stageSeconds returns the marauder_stage_seconds instance for one stage.
+func stageSeconds(stage string) *telemetry.Histogram {
+	return telemetry.Default().Histogram(
+		"marauder_stage_seconds",
+		"Wall time per pipeline stage (fix-path stages sampled 1-in-N, see Config.StageSampleEvery).",
+		telemetry.LatencyBuckets(),
+		telemetry.Labels{"stage": stage})
+}
+
 // mQuarantined counts captures diverted to the reject queue, by reason.
 func mQuarantined(reason string) *telemetry.Counter {
 	return telemetry.Default().Counter(

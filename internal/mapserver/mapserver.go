@@ -32,6 +32,13 @@ var (
 	mDevicesOnMap = telemetry.Default().Gauge(
 		"marauder_map_devices",
 		"Devices currently shown on the map.", nil)
+	// mStagePublish joins the engine's marauder_stage_seconds family: the
+	// publish stage runs once per map frame, so it is timed on every call
+	// rather than sampled.
+	mStagePublish = telemetry.Default().Histogram(
+		"marauder_stage_seconds",
+		"Wall time per pipeline stage (fix-path stages sampled 1-in-N, see Config.StageSampleEvery).",
+		telemetry.LatencyBuckets(), telemetry.Labels{"stage": "publish"})
 )
 
 // mRequests / mRequestSeconds instrument every HTTP route the handler
@@ -105,6 +112,8 @@ type State struct {
 	devices map[string]DeviceMarker
 	stats   func() any
 	health  func() Health
+	slo     func() any
+	profile func() any
 	tracer  *trace.Tracer
 }
 
@@ -161,6 +170,7 @@ func (s *State) UpdateDevice(mac dot11.MAC, est core.Estimate, truth *geom.Point
 // supplies the true position for devices whose ground truth the caller
 // knows (simulation); it returns false for the rest.
 func (s *State) PublishFrame(frame map[dot11.MAC]core.Estimate, truth func(dot11.MAC) (geom.Point, bool)) {
+	defer mStagePublish.ObserveSince(time.Now())
 	var tr *trace.Trace
 	if t := s.traceSource(); t != nil {
 		tr = t.Start(trace.KindPublish, "")
@@ -226,6 +236,36 @@ func (s *State) healthSource() func() Health {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.health
+}
+
+// SetSLOSource installs the provider behind /api/slo — typically a
+// closure over slo.Tracker.Report. With no source installed the endpoint
+// reports SLO tracking disabled. The value must be JSON-serializable.
+func (s *State) SetSLOSource(src func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slo = src
+}
+
+func (s *State) sloSource() func() any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.slo
+}
+
+// SetProfileSource installs the provider behind /api/profile — typically
+// a closure composing prof.Profiler.Status and Attribution. With no
+// source installed the endpoint reports profiling disabled.
+func (s *State) SetProfileSource(src func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profile = src
+}
+
+func (s *State) profileSource() func() any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.profile
 }
 
 // SetTracer installs the pipeline tracer behind /api/trace (recent-trace
@@ -359,6 +399,22 @@ func NewHandler(state *State, opts HandlerOpts) http.Handler {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		writeJSON(w, h)
+	}))
+	mux.HandleFunc("/api/slo", apiGET("/api/slo", func(w http.ResponseWriter, r *http.Request) {
+		src := state.sloSource()
+		if src == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, map[string]any{"enabled": true, "slo": src()})
+	}))
+	mux.HandleFunc("/api/profile", apiGET("/api/profile", func(w http.ResponseWriter, r *http.Request) {
+		src := state.profileSource()
+		if src == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, src())
 	}))
 	mux.HandleFunc("/api/trace", apiGET("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		t := state.traceSource()

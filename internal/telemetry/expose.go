@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -149,6 +150,23 @@ func RegisterPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// SetProfileRates turns on the runtime's mutex and block profilers —
+// without this, /debug/pprof/mutex and /debug/pprof/block (and the
+// continuous profiler's captures of them) are always empty, because the
+// runtime defaults both rates to off. mutexFraction samples 1/n of mutex
+// contention events (0 disables, negative leaves the rate unchanged);
+// blockRateNs records blocking events lasting at least that many
+// nanoseconds (0 disables, negative leaves unchanged). Both profilers
+// cost on contended paths, hence opt-in flags rather than defaults.
+func SetProfileRates(mutexFraction, blockRateNs int) {
+	if mutexFraction >= 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs >= 0 {
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
 }
 
 // Mux builds the standalone telemetry endpoint: /metrics (Prometheus),

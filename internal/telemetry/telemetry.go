@@ -276,6 +276,20 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels)
 	return r.getOrCreate(name, help, kindHistogram, bounds, labels).(*Histogram)
 }
 
+// Cardinalities reports the label-set instance count per metric family —
+// the input for cardinality guard tests: a family whose instance count
+// grows with user data (MACs, device IDs) instead of a fixed label
+// vocabulary will eventually OOM the registry and every scraper of it.
+func (r *Registry) Cardinalities() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.families))
+	for name, f := range r.families {
+		out[name] = len(f.instances)
+	}
+	return out
+}
+
 // familySnapshot is an exposition-time copy of one family: the metric
 // pointers themselves stay live (their values are read atomically), only
 // the registry's maps are copied out from under the lock.

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench-compare: the perf-regression watchdog. Diffs the current PR's
+# BENCH_<pr>.json against the previous PR's checked-in baseline with
+# cmd/benchcompare and fails on gated regressions: latency p99 blowups
+# beyond the (noise-clamped) ratio, throughput collapse, a lost
+# churn-kernel speedup, or a missing self-profile section. The gate
+# ratios are generous because the baseline was produced on different
+# hardware; see cmd/benchcompare's doc comment for the exact semantics.
+#
+# Usage: sh scripts/bench_compare.sh [current] [previous]
+# Env overrides: CUR, PREV (same positions).
+set -eu
+
+CUR="${1:-${CUR:-BENCH_9.json}}"
+PREV="${2:-${PREV:-BENCH_8.json}}"
+
+if [ ! -f "$CUR" ]; then
+    echo "bench_compare: current summary $CUR not found (run scripts/soak_smoke.sh and scripts/bench_churn.sh first)" >&2
+    exit 1
+fi
+if [ ! -f "$PREV" ]; then
+    echo "bench_compare: previous summary $PREV not found" >&2
+    exit 1
+fi
+
+go run ./cmd/benchcompare -prev "$PREV" -cur "$CUR"

@@ -6,15 +6,19 @@
 # — non-empty, strictly monotonic timestamps — and asserts both runs
 # actually ingested traffic. Whole script stays under ~30s.
 #
-# Env overrides: OUT (summary file, default BENCH_8.json), PR (default
-# 8), SOAK_SECS (wall seconds per run, default 4).
+# Env overrides: OUT (summary file, default BENCH_9.json), PR (default
+# 9), SOAK_SECS (wall seconds per run, default 4), KEEP (when set, the
+# flight records and self-profile artifacts land under this directory
+# and survive the run — CI uploads them).
 set -eu
 
-OUT="${OUT:-BENCH_8.json}"
-PR="${PR:-8}"
+OUT="${OUT:-BENCH_9.json}"
+PR="${PR:-9}"
 SOAK_SECS="${SOAK_SECS:-4}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT INT TERM
+WORK="${KEEP:-$TMP}"
+mkdir -p "$WORK"
 
 go build -o "$TMP/soak" ./cmd/soak
 go build -o "$TMP/ftdcdump" ./cmd/ftdcdump
@@ -28,13 +32,13 @@ run_soak() {
         -ftdc-interval 250ms -out "$OUT" -pr "$PR" "$@"
 }
 
-run_soak -ftdc-dir "$TMP/ftdc-off" -run-name chaos_off
-run_soak -ftdc-dir "$TMP/ftdc-on" -run-name chaos_on -chaos
+run_soak -ftdc-dir "$WORK/ftdc-off" -prof-dir "$WORK/prof-off" -run-name chaos_off
+run_soak -ftdc-dir "$WORK/ftdc-on" -prof-dir "$WORK/prof-on" -run-name chaos_on -chaos
 
 # Every flight record must decode cleanly: at least one sample, strictly
 # monotonic timestamps across chunks.
 found=0
-for f in "$TMP"/ftdc-off/*.ftdc "$TMP"/ftdc-on/*.ftdc; do
+for f in "$WORK"/ftdc-off/*.ftdc "$WORK"/ftdc-on/*.ftdc; do
     [ -e "$f" ] || continue
     found=$((found + 1))
     "$TMP/ftdcdump" -check "$f"
@@ -45,7 +49,7 @@ if [ "$found" -lt 2 ]; then
 fi
 
 # One summary carries both runs, and both saw real traffic.
-for key in '"chaos_off"' '"chaos_on"' '"ftdc"'; do
+for key in '"chaos_off"' '"chaos_on"' '"ftdc"' '"profile"' '"stageShares"'; do
     grep -q "$key" "$OUT" || {
         echo "soak-smoke: $OUT missing $key" >&2
         cat "$OUT" >&2
