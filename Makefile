@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke soak-smoke profile-smoke fuzz-smoke bench-ingest bench-store bench-churn bench-compare bench-pr
+.PHONY: all build vet test race bench fmt check metrics-smoke trace-smoke chaos-smoke agent-smoke soak-smoke profile-smoke fuzz-smoke bench-ingest bench-store bench-churn bench-compare bench-pr
 
 all: check
 
@@ -43,7 +43,7 @@ bench-store:
 
 # Incremental-kernel regression gate: MLocTracked + tracker-served area
 # vs the full per-fix recompute on the sliding-Γ churn workload,
-# recorded into BENCH_9.json. Fails unless the incremental kernel holds
+# recorded into BENCH_10.json. Fails unless the incremental kernel holds
 # a >= 5x lead (and allocates nothing) at k≈8.
 bench-churn:
 	sh scripts/bench_churn.sh
@@ -55,9 +55,9 @@ bench-compare:
 	sh scripts/bench_compare.sh
 
 # Regenerate the current PR's versioned perf summary: two mini-soaks
-# (chaos off/on) through the flight recorder plus the churn-kernel gate,
-# all merged into BENCH_9.json, then the regression watchdog against the
-# previous baseline.
+# (chaos off/on) through the flight recorder, the loopback agent-fleet
+# run, plus the churn-kernel gate, all merged into BENCH_10.json, then
+# the regression watchdog against the previous baseline.
 bench-pr:
 	sh scripts/soak_smoke.sh
 	sh scripts/bench_churn.sh
@@ -74,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz 'FuzzIngest$$' -fuzztime=10s ./internal/obs
 	$(GO) test -run xxx -fuzz 'FuzzSnapshotCodec$$' -fuzztime=10s ./internal/apdb
 	$(GO) test -run xxx -fuzz 'FuzzIncrementalRegion$$' -fuzztime=30s ./internal/geom
+	$(GO) test -run xxx -fuzz 'FuzzCapwireDecode$$' -fuzztime=10s ./internal/capwire
 
 fmt:
 	gofmt -l -w .
@@ -97,6 +98,13 @@ trace-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+# End-to-end distributed-capture gate: marauder with the agent plane as
+# its only capture source, two capagents under the aggressive wire fault
+# plan, one SIGKILLed and restarted mid-stream — must resume at its
+# acked cursor with per-agent accounting balanced and metrics exported.
+agent-smoke:
+	sh scripts/agent_chaos_smoke.sh
+
 # End-to-end flight-recorder gate: two mini-soaks (chaos off/on) through
 # the FTDC recorder, ftdcdump -check on every record, and a merged
 # BENCH_<pr>.json carrying both runs.
@@ -111,4 +119,4 @@ profile-smoke:
 	sh scripts/profile_smoke.sh
 
 # The gate CI runs: everything must pass before a merge.
-check: vet build test race metrics-smoke trace-smoke chaos-smoke soak-smoke profile-smoke bench-store bench-churn bench-compare
+check: vet build test race metrics-smoke trace-smoke chaos-smoke agent-smoke soak-smoke profile-smoke bench-store bench-churn bench-compare

@@ -30,6 +30,11 @@
 //     scripts/bench_churn.sh, so the merge cannot quietly drop the gate)
 //   - with -require-profile, every current run carries a "profile"
 //     section with decoded hot functions and per-stage shares
+//   - with -require-agents, the current summary carries an "agents"
+//     section (the distributed-capture loopback run merged via
+//     cmd/soak -merge-extra agents=FILE) proving the wire moved frames
+//     (framesPerSec > 0), exercised cursor resume (resumes >= 1), and
+//     kept the exactly-once books balanced (accountingOk)
 package main
 
 import (
@@ -151,6 +156,24 @@ func (c *comparer) checkProfile(name string) {
 		"%d samples, %d hot functions, %d stage shares", int(samples), len(top), len(stages))
 }
 
+// checkAgents requires the current summary's distributed-capture
+// section: the loopback agent run must have moved frames over the wire,
+// resumed at least one session, and balanced the exactly-once books.
+func (c *comparer) checkAgents() {
+	a, ok := dig(c.cur, "agents")
+	if !ok {
+		c.add("agents", false, "section missing")
+		return
+	}
+	sec, _ := a.(map[string]any)
+	fps, _ := sec["framesPerSec"].(float64)
+	resumes, _ := sec["resumes"].(float64)
+	accountingOk, _ := sec["accountingOk"].(bool)
+	c.add("agents.framesPerSec", fps > 0, "cur %.0f/s", fps)
+	c.add("agents.resumes", resumes >= 1, "cur %.0f (floor 1)", resumes)
+	c.add("agents.accountingOk", accountingOk, "cur %v", accountingOk)
+}
+
 func loadSummary(path string) (map[string]any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -171,6 +194,7 @@ func run(args []string, out io.Writer) error {
 	minThroughputRatio := fs.Float64("min-throughput-ratio", 0.4, "fail when framesPerWallSec drops below this fraction of the previous run")
 	minKernelSpeedup := fs.Float64("min-kernel-speedup", 5, "fail when churn.kernel_speedup falls below this absolute floor")
 	requireProfile := fs.Bool("require-profile", true, "fail when a current run lacks a profile section with hot functions and stage shares")
+	requireAgents := fs.Bool("require-agents", false, "fail when the current summary lacks an agents section with throughput, a resume, and balanced accounting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,6 +215,10 @@ func run(args []string, out io.Writer) error {
 	speedup, ok := digFloat(cur, "churn", "kernel_speedup")
 	c.add("churn.kernel_speedup", ok && speedup >= *minKernelSpeedup,
 		"cur %.2fx (floor %.2fx)", speedup, *minKernelSpeedup)
+
+	if *requireAgents {
+		c.checkAgents()
+	}
 
 	curRuns, _ := dig(cur, "runs")
 	curRunMap, _ := curRuns.(map[string]any)

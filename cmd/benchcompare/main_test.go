@@ -139,6 +139,71 @@ func runOf(doc map[string]any) map[string]any {
 	return doc["runs"].(map[string]any)["chaos_off"].(map[string]any)
 }
 
+// agentsSection builds a healthy distributed-capture section as
+// cmd/soak -merge-extra agents=FILE embeds it.
+func agentsSection() map[string]any {
+	return map[string]any{
+		"agents":       2.0,
+		"framesPerSec": 500.0,
+		"resumes":      3.0,
+		"accountingOk": true,
+	}
+}
+
+// The agents gate is opt-in: absent section passes without
+// -require-agents, and with it every sub-gate must hold.
+func TestAgentsGate(t *testing.T) {
+	if err, out := compare(t, summary(false), summary(true)); err != nil {
+		t.Fatalf("missing agents section failed without -require-agents: %v\n%s", err, out)
+	}
+
+	cur := summary(true)
+	cur["agents"] = agentsSection()
+	if err, out := compare(t, summary(false), cur, "-require-agents"); err != nil {
+		t.Fatalf("healthy agents section failed: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(cur map[string]any)
+		gate   string
+	}{
+		{"section dropped", func(cur map[string]any) { delete(cur, "agents") }, "agents"},
+		{
+			"wire moved nothing",
+			func(cur map[string]any) { cur["agents"].(map[string]any)["framesPerSec"] = 0.0 },
+			"agents.framesPerSec",
+		},
+		{
+			"resume path untested",
+			func(cur map[string]any) { cur["agents"].(map[string]any)["resumes"] = 0.0 },
+			"agents.resumes",
+		},
+		{
+			"accounting broken",
+			func(cur map[string]any) { cur["agents"].(map[string]any)["accountingOk"] = false },
+			"agents.accountingOk",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := summary(true)
+			cur["agents"] = agentsSection()
+			tc.mutate(cur)
+			err, out := compare(t, summary(false), cur, "-require-agents")
+			if err == nil {
+				t.Fatalf("injected agents regression passed:\n%s", out)
+			}
+			for _, line := range strings.Split(out, "\n") {
+				if strings.HasPrefix(line, "FAIL") && strings.Contains(line, tc.gate) {
+					return
+				}
+			}
+			t.Errorf("no FAIL line names %q:\n%s", tc.gate, out)
+		})
+	}
+}
+
 // Sub-floor latency jitter must not fail the ratio gate: prev 0.001 ms,
 // cur 0.04 ms is a 40x ratio but both sit under the 0.05 ms noise floor.
 func TestNoiseFloorAbsorbsTinyLatencies(t *testing.T) {
@@ -164,16 +229,16 @@ func TestDisjointRunNamesFail(t *testing.T) {
 // The real checked-in previous summary must parse and carry the gated
 // fields — guards against the baseline file drifting out of shape.
 func TestCheckedInBaselineShape(t *testing.T) {
-	doc, err := loadSummary("../../BENCH_8.json")
+	doc, err := loadSummary("../../BENCH_9.json")
 	if err != nil {
 		t.Fatalf("loading checked-in baseline: %v", err)
 	}
 	if _, ok := digFloat(doc, "churn", "kernel_speedup"); !ok {
-		t.Error("BENCH_8.json lacks churn.kernel_speedup")
+		t.Error("BENCH_9.json lacks churn.kernel_speedup")
 	}
 	for _, name := range []string{"chaos_off", "chaos_on"} {
 		if _, ok := digFloat(doc, "runs", name, "fix", "p99Ms"); !ok {
-			t.Errorf("BENCH_8.json lacks runs.%s.fix.p99Ms", name)
+			t.Errorf("BENCH_9.json lacks runs.%s.fix.p99Ms", name)
 		}
 	}
 }

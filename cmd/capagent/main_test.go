@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/capwire"
+	"repro/internal/geom"
+	"repro/internal/sniffer"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "-server"},
+		{[]string{"-server", "x", "-wire-seed", "3"}, "-wire-chaos"},
+		{[]string{"-server", "x", "-pos", "nope"}, "-pos"},
+		{[]string{"-server", "x", "-overflow", "spill"}, "overflow"},
+		{[]string{"-server", "x", "-speedup", "0"}, "-speedup"},
+	}
+	for _, c := range cases {
+		err := run(c.args, nil)
+		if err == nil {
+			t.Errorf("run(%v) accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) error %q does not mention %s", c.args, err, c.want)
+		}
+	}
+}
+
+func TestParsePos(t *testing.T) {
+	p, err := parsePos(" -12.5 , 40 ")
+	if err != nil || p.X != -12.5 || p.Y != 40 {
+		t.Fatalf("parsePos: %v %v", p, err)
+	}
+	for _, bad := range []string{"", "1", "a,b", "1;2"} {
+		if _, err := parsePos(bad); err == nil {
+			t.Errorf("parsePos(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAgentStreamsToServer runs the whole binary path against an
+// in-process capwire server: the agent simulates its world, streams the
+// capture, flushes on completion, and the server's books balance.
+func TestAgentStreamsToServer(t *testing.T) {
+	var mu sync.Mutex
+	frames := 0
+	srv, err := capwire.NewServer(capwire.ServerConfig{
+		Ingest: func(agentID string, caps []sniffer.Capture) int {
+			mu.Lock()
+			frames += len(caps)
+			mu.Unlock()
+			return len(caps)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-server", lis.Addr().String(),
+			"-agent", "test-agent",
+			"-seed", "5", "-aps", "60",
+			"-pos", "10,-20",
+			"-speedup", "5000", "-duration", "120",
+		}, nil)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not finish")
+	}
+
+	mu.Lock()
+	got := frames
+	mu.Unlock()
+	if got == 0 {
+		t.Fatal("server ingested no frames")
+	}
+	agents := srv.Agents()
+	if len(agents) != 1 || agents[0].ID != "test-agent" {
+		t.Fatalf("agents: %+v", agents)
+	}
+	a := agents[0]
+	if !a.AccountingOk || a.BatchesIngested == 0 || a.FramesIngested != uint64(got) {
+		t.Fatalf("accounting: %+v (sink saw %d)", a, got)
+	}
+}
+
+// TestAgentWorldMatchesMarauder: same seed and AP count must produce the
+// same deployment the engine knows, or agent traffic would be noise.
+func TestAgentWorldMatchesMarauder(t *testing.T) {
+	w1, err := buildWorld(7, 40, geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := buildWorld(7, 40, geom.Pt(50, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.sim.APs) != 40 || len(w2.sim.APs) != 40 {
+		t.Fatalf("AP counts: %d, %d", len(w1.sim.APs), len(w2.sim.APs))
+	}
+	for i := range w1.sim.APs {
+		if w1.sim.APs[i].MAC != w2.sim.APs[i].MAC || w1.sim.APs[i].Pos != w2.sim.APs[i].Pos {
+			t.Fatalf("AP %d differs across same-seed worlds", i)
+		}
+	}
+	if w1.victim.MAC != w2.victim.MAC {
+		t.Fatal("victim identity differs across same-seed worlds")
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/capwire"
+	"repro/internal/sim"
+	"repro/internal/sniffer"
+)
+
+// TestRunRejectsDanglingFlags: a flag that only tunes a feature the
+// command line never enabled must fail loudly, naming both flags.
+func TestRunRejectsDanglingFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-chaos-seed", "7", "-once"}, "-chaos"},
+		{[]string{"-checkpoint-interval", "1s", "-once"}, "-checkpoint-dir"},
+		{[]string{"-ftdc-interval", "1s", "-once"}, "-ftdc-dir"},
+		{[]string{"-trace-sample", "0.5", "-once"}, "-trace"},
+		{[]string{"-slo-tick", "1s", "-once"}, "-slo"},
+		{[]string{"-local-capture=false"}, "-agents-listen"},
+		{[]string{"-agents-listen", "127.0.0.1:0", "-once"}, "-once"},
+	}
+	for _, c := range cases {
+		err := run(c.args)
+		if err == nil {
+			t.Errorf("run(%v) accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) error %q does not mention %s", c.args, err, c.want)
+		}
+	}
+}
+
+// TestDisabledCheckpointIntervalRuns: zero/negative -checkpoint-interval
+// means "no periodic checkpoints", not an invalid duration — the run
+// still writes its final checkpoint.
+func TestDisabledCheckpointIntervalRuns(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-once", "-aps", "40", "-seed", "3",
+		"-checkpoint-dir", dir, "-checkpoint-interval", "0s",
+	})
+	if err != nil {
+		t.Fatalf("run with disabled checkpoint interval: %v", err)
+	}
+}
+
+// TestAgentIngestFlowsToEngineHealth exercises the marauder-side wiring
+// without the serve loop: a capwire server ingesting into the engine
+// under per-agent source names, visible in engine health and the attack's
+// composed /api/health payload.
+func TestAgentIngestFlowsToEngineHealth(t *testing.T) {
+	a, err := buildAttack(5, 60, "mloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := capwire.NewServer(capwire.ServerConfig{
+		Ingest: func(agentID string, caps []sniffer.Capture) int {
+			return a.eng.IngestCapturesFrom("agent:"+agentID, caps)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a.agents = srv
+
+	// Feed a frame batch through the same simulated capture path the
+	// agent binary uses, bypassing TCP: the wiring under test is
+	// ingest-source accounting, not the wire (capwire's own tests own
+	// that).
+	a.captureUpTo(0, 120)
+	caps := captureWindow(a, 0, 120)
+	if len(caps) == 0 {
+		t.Fatal("simulated capture produced no frames")
+	}
+	if n := a.eng.IngestCapturesFrom("agent:lab-1", caps); n == 0 {
+		t.Fatal("agent ingest stored nothing")
+	}
+
+	eh := a.eng.Health()
+	if _, ok := eh.Sources["agent:lab-1"]; !ok {
+		t.Fatalf("agent source missing from engine health: %v", eh.Sources)
+	}
+	if _, ok := eh.Sources["local"]; !ok {
+		t.Fatalf("local source missing from engine health: %v", eh.Sources)
+	}
+
+	h := a.health(120)
+	detail, ok := h.Detail.(map[string]any)
+	if !ok {
+		t.Fatalf("health detail shape: %T", h.Detail)
+	}
+	if _, ok := detail["agents"]; !ok {
+		t.Fatal("health detail missing agents totals")
+	}
+
+}
+
+// captureWindow reruns the simulation to produce a standalone capture
+// batch, the same way cmd/capagent generates its stream.
+func captureWindow(a *attack, from, to float64) []sniffer.Capture {
+	seq := uint16(from/30) + 1
+	var batch []sniffer.Capture
+	for ts := from; ts < to; ts += 30 {
+		pos := a.victim.PosAt(ts)
+		batch = a.sniffer.CaptureAllInto(batch, sim.ScanBurst(a.world, a.victim, ts, pos, seq))
+		seq++
+	}
+	return batch
+}

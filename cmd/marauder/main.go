@@ -15,6 +15,7 @@
 //	         [-mutex-profile-fraction 0] [-block-profile-rate 0]
 //	         [-slo SPEC]... [-slo-defaults] [-slo-tick 10s]
 //	         [-stage-sample-every 0]
+//	         [-agents-listen :7642] [-local-capture=true] [-ingest-stale-after 0]
 //
 // All five of the paper's algorithms select through the same
 // core.Localizer interface and drive the same engine pipeline. With -once
@@ -61,6 +62,23 @@
 // while burning or exhausted. -stage-sample-every times the per-stage
 // histograms (marauder_stage_seconds) on every Nth fix (0 = default 16,
 // 1 = every fix, negative = off).
+//
+// -agents-listen starts the distributed capture plane: a capwire server
+// accepting remote capture agents (cmd/capagent) that stream frame
+// batches over TCP with resumable cursors, served alongside the local
+// fleet. Per-agent liveness, lag and resume accounting shows at
+// /api/agents and in /api/health; with -checkpoint-dir the agents' ack
+// cursors persist next to the observation checkpoints so a restart
+// resumes every agent from its acked position. -local-capture=false
+// turns the in-process sniffer fleet off (remote agents become the only
+// capture source); -ingest-stale-after degrades /api/health when any
+// capture source delivers nothing for that long.
+//
+// Dependent flags are validated after parse: a flag that only tunes a
+// feature the command line never enabled (-chaos-seed without -chaos,
+// -checkpoint-interval without -checkpoint-dir, ...) is an error, and a
+// zero or negative -checkpoint-interval disables periodic checkpoints
+// while keeping the final shutdown snapshot.
 package main
 
 import (
@@ -70,17 +88,21 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/capwire"
 	"repro/internal/core"
 	"repro/internal/dot11"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/flagcheck"
 	"repro/internal/geom"
 	"repro/internal/mapserver"
 	"repro/internal/obs"
@@ -133,6 +155,18 @@ type attack struct {
 	// slos tracks service-level objectives; nil (disabled) when no -slo
 	// flags are given — every method on it is nil-safe.
 	slos *slo.Tracker
+	// agents is the capwire server for remote capture agents; nil when
+	// -agents-listen is unset.
+	agents *capwire.Server
+	// agentStale is the -ingest-stale-after threshold shared by the
+	// engine's per-source check and the agents' liveness reasons.
+	agentStale time.Duration
+	// localCapture mirrors -local-capture: false turns the in-process
+	// sniffer fleet off so remote agents are the only capture source.
+	localCapture bool
+	// ckptPeriodic is false when -checkpoint-interval disabled periodic
+	// snapshots (the final shutdown checkpoint still happens).
+	ckptPeriodic bool
 }
 
 // attackOpts is the full build configuration; the positional helpers
@@ -152,6 +186,8 @@ type attackOpts struct {
 	Store *obs.Store
 	// StageSampleEvery forwards to engine.Config.StageSampleEvery.
 	StageSampleEvery int
+	// StaleIngestAfter forwards to engine.Config.StaleIngestAfter.
+	StaleIngestAfter time.Duration
 }
 
 // newLocalizer maps an -algo name to its Localizer and the knowledge base
@@ -280,6 +316,7 @@ func buildAttackOpts(o attackOpts) (*attack, error) {
 		Workers:          o.Workers,
 		Tracer:           o.Tracer,
 		StageSampleEvery: o.StageSampleEvery,
+		StaleIngestAfter: o.StaleIngestAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -297,9 +334,11 @@ func buildAttackOpts(o attackOpts) (*attack, error) {
 			Plan:   dot11.DefaultPlan(),
 			Faults: o.Faults,
 		}),
-		baseKnow: base,
-		trains:   trains,
-		plan:     o.Faults,
+		baseKnow:     base,
+		trains:       trains,
+		plan:         o.Faults,
+		localCapture: true,
+		ckptPeriodic: true,
 	}
 	if o.Faults.Enabled() {
 		a.injector = &sniffer.FaultInjector{Plan: o.Faults}
@@ -359,7 +398,18 @@ func (a *attack) health(tSec float64) mapserver.Health {
 		h.Status = mapserver.StatusDegraded
 		h.Reasons = append(h.Reasons, rs...)
 	}
+	// Remote capture agents: accounting mismatches always degrade;
+	// silence degrades past -ingest-stale-after.
+	if a.agents != nil {
+		if rs := a.agents.HealthReasons(a.agentStale); len(rs) > 0 {
+			h.Status = mapserver.StatusDegraded
+			h.Reasons = append(h.Reasons, rs...)
+		}
+	}
 	detail := map[string]any{"engine": eh, "cards": cards}
+	if a.agents != nil {
+		detail["agents"] = a.agents.Totals()
+	}
 	if a.plan.Enabled() {
 		detail["faults"] = a.plan.Counters()
 	}
@@ -412,9 +462,35 @@ func run(args []string) error {
 	sloDefaults := fs.Bool("slo-defaults", false, "track the built-in fix-latency and fix-availability objectives")
 	sloTick := fs.Duration("slo-tick", 10*time.Second, "SLO evaluation period")
 	stageEvery := fs.Int("stage-sample-every", 0, "time per-stage histograms every Nth fix (0 = default 16, 1 = every fix, negative = off)")
+	agentsListen := fs.String("agents-listen", "", "TCP listen address for remote capture agents (capwire protocol; empty = no agent plane)")
+	localCapture := fs.Bool("local-capture", true, "run the in-process sniffer fleet (false = remote agents are the only capture source)")
+	staleAfter := fs.Duration("ingest-stale-after", 0, "degrade /api/health when a capture source delivers nothing for this long (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Dependent-flag validation: a flag that only tunes a feature this
+	// command line never enabled is an operator typo, not a no-op.
+	fc := flagcheck.New(fs).
+		Requires("chaos-seed", "chaos").
+		Requires("checkpoint-interval", "checkpoint-dir").
+		Requires("ftdc-interval", "ftdc-dir").
+		Requires("prof-interval", "prof-dir").
+		Requires("prof-cpu", "prof-dir").
+		Requires("trace-sample", "trace").
+		Requires("trace-buffer", "trace").
+		Requires("slo-tick", "slo", "slo-defaults")
+	if err := fc.Err(); err != nil {
+		return err
+	}
+	if !*localCapture && *agentsListen == "" {
+		return errors.New("-local-capture=false without -agents-listen leaves no capture source")
+	}
+	if *once && *agentsListen != "" {
+		return errors.New("-agents-listen needs the serving loop; it cannot be combined with -once")
+	}
+	ckptEvery, ckptPeriodic := flagcheck.CheckpointInterval(*ckptInterval, func(format string, args ...any) {
+		slog.Info(fmt.Sprintf(format, args...), "component", "marauder")
+	})
 	telemetry.SetProfileRates(*mutexFrac, *blockRate)
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
@@ -441,7 +517,7 @@ func run(args []string) error {
 		slog.Info("telemetry listening", "component", "marauder", "addr", *metricsAddr, "pprof", *pprofOn)
 	}
 
-	opts := attackOpts{Seed: *seed, APs: *nAPs, Algo: *algo, Workers: *workers, Shards: *shards, Tracer: tracer, StageSampleEvery: *stageEvery}
+	opts := attackOpts{Seed: *seed, APs: *nAPs, Algo: *algo, Workers: *workers, Shards: *shards, Tracer: tracer, StageSampleEvery: *stageEvery, StaleIngestAfter: *staleAfter}
 	if *chaos {
 		opts.Faults = faults.Aggressive(*chaosSeed)
 		slog.Info("chaos mode on", "component", "marauder", "seed", *chaosSeed)
@@ -477,6 +553,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	a.localCapture = *localCapture
+	a.ckptPeriodic = ckptPeriodic
+	a.agentStale = *staleAfter
 	if *ftdcDir != "" {
 		rec, err := ftdc.New(ftdc.Config{
 			Dir:      *ftdcDir,
@@ -514,10 +593,68 @@ func run(args []string) error {
 	if *ckptDir != "" {
 		a.ckpt = &obs.Checkpointer{
 			Dir:      *ckptDir,
-			Interval: *ckptInterval,
+			Interval: ckptEvery,
 			Source:   func() *obs.Store { return a.eng.Store() },
 		}
 		a.ckpt.SetGeneration(recoveredGen)
+	}
+
+	if *agentsListen != "" {
+		// The distributed capture plane: remote agents stream batches in
+		// and ingest under per-agent source names, with resumable cursors
+		// persisted alongside the observation checkpoints.
+		srvCfg := capwire.ServerConfig{
+			Ingest: func(agentID string, caps []sniffer.Capture) int {
+				return a.eng.IngestCapturesFrom("agent:"+agentID, caps)
+			},
+			Logf: func(format string, args ...any) {
+				slog.Info(fmt.Sprintf(format, args...), "component", "capwire")
+			},
+		}
+		cursorPath := ""
+		if *ckptDir != "" {
+			cursorPath = filepath.Join(*ckptDir, capwire.CursorFileName)
+			cursors, gen, err := capwire.LoadCursors(cursorPath)
+			if err != nil {
+				return err
+			}
+			if len(cursors) > 0 {
+				if gen != recoveredGen {
+					// A generation skew only widens the replay window: the
+					// agents re-send a tail the server dedups (at-least-once
+					// delivery, exactly-once ingest), so warn and continue.
+					slog.Warn("agent cursors from a different checkpoint generation",
+						"component", "marauder", "cursorGeneration", gen, "storeGeneration", recoveredGen)
+				}
+				slog.Info("agent cursors restored", "component", "marauder",
+					"path", cursorPath, "agents", len(cursors), "generation", gen)
+			}
+			srvCfg.Cursors = cursors
+		}
+		capSrv, err := capwire.NewServer(srvCfg)
+		if err != nil {
+			return err
+		}
+		lis, err := net.Listen("tcp", *agentsListen)
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := capSrv.Serve(lis); err != nil {
+				slog.Error("agent server failed", "component", "marauder", "err", err)
+			}
+		}()
+		defer capSrv.Close()
+		a.agents = capSrv
+		if a.ckpt != nil && cursorPath != "" {
+			a.ckpt.AfterCheckpoint = func(gen uint64) {
+				if err := capSrv.SaveCursors(cursorPath, gen); err != nil {
+					slog.Warn("agent cursor save failed", "component", "marauder", "err", err)
+				}
+			}
+		}
+		slog.Info("capture agent plane listening", "component", "marauder",
+			"addr", lis.Addr().String(), "localCapture", *localCapture)
 	}
 
 	if *once {
@@ -643,6 +780,9 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			}
 		})
 	}
+	if a.agents != nil {
+		state.SetAgentsSource(func() any { return a.agents.Report() })
+	}
 
 	srv := &http.Server{Addr: addr, Handler: mapserver.NewHandler(state, mapserver.HandlerOpts{Pprof: pprofOn})}
 	errCh := make(chan error, 1)
@@ -657,7 +797,7 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if a.ckpt != nil {
+	if a.ckpt != nil && a.ckptPeriodic {
 		go a.ckpt.Run(ctx)
 	}
 	recDone := make(chan struct{})
@@ -716,7 +856,9 @@ func serve(a *attack, algo, addr string, speedup float64, pprofOn bool) error {
 			if next > total {
 				next = total
 			}
-			a.captureUpTo(simTime, next)
+			if a.localCapture {
+				a.captureUpTo(simTime, next)
+			}
 			simTime = next
 			simNow.Store(math.Float64bits(simTime))
 			a.sniffer.UpdateHealthMetrics(simTime)

@@ -52,6 +52,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/flagcheck"
 	"repro/internal/geo"
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -104,6 +105,22 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Dependent-flag validation, shared semantics with cmd/marauder: a
+	// flag that only tunes a never-enabled feature is an error, and a
+	// zero/negative -checkpoint-interval means "periodic checkpoints
+	// disabled" (the replay's single final checkpoint still happens).
+	fc := flagcheck.New(fs).
+		Requires("chaos-seed", "chaos").
+		Requires("checkpoint-interval", "checkpoint-dir").
+		Requires("prof-cpu", "prof-dir").
+		Requires("trace-sample", "trace").
+		Requires("trace-buffer", "trace")
+	if err := fc.Err(); err != nil {
+		return err
+	}
+	ckptEvery, _ := flagcheck.CheckpointInterval(*ckptInterval, func(format string, args ...any) {
+		slog.Info(fmt.Sprintf(format, args...), "component", "replay")
+	})
 	telemetry.SetProfileRates(*mutexFrac, *blockRate)
 	if _, err := telemetry.SetupLogging(os.Stderr, *logLevel, *logFormat); err != nil {
 		return err
@@ -352,7 +369,7 @@ func run(args []string) error {
 		slog.Info("observation store saved", "component", "replay", "path", *obsOut)
 	}
 	if *ckptDir != "" {
-		ckpt := &obs.Checkpointer{Dir: *ckptDir, Interval: *ckptInterval, Source: func() *obs.Store { return store }}
+		ckpt := &obs.Checkpointer{Dir: *ckptDir, Interval: ckptEvery, Source: func() *obs.Store { return store }}
 		ckpt.SetGeneration(recoveredGen)
 		path, err := ckpt.CheckpointNow()
 		if err != nil {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/capwire"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/sniffer"
+)
+
+// agentsSummary is the distributed-capture section of the soak summary:
+// the loopback agent fleet's throughput, resume and dedup accounting,
+// merged into BENCH_<pr>.json under "agents" and gated by
+// cmd/benchcompare.
+type agentsSummary struct {
+	Agents          int     `json:"agents"`
+	BatchesSent     uint64  `json:"batchesSent"`
+	BatchesIngested uint64  `json:"batchesIngested"`
+	DedupedBatches  uint64  `json:"dedupedBatches"`
+	DedupedFrames   uint64  `json:"dedupedFrames"`
+	FramesIngested  uint64  `json:"framesIngested"`
+	FramesPerSec    float64 `json:"framesPerSec"`
+	ReplayedBatches uint64  `json:"replayedBatches"`
+	DroppedBatches  uint64  `json:"droppedBatches"`
+	Resumes         uint64  `json:"resumes"`
+	P99BatchMs      float64 `json:"p99BatchMs"`
+	// AccountingOk is the fleet-wide exactly-once invariant: every
+	// received batch ingested or deduped, every received frame accounted.
+	AccountingOk bool                 `json:"accountingOk"`
+	WireFaults   *faults.WireCounters `json:"wireFaults,omitempty"`
+}
+
+// agentPlane routes the soak's capture batches through N loopback
+// capwire agents instead of calling the engine directly, so the bench
+// numbers exercise the real wire: encode, TCP, decode, cursor ack — and
+// under -agents-wire-chaos, the full fault matrix.
+type agentPlane struct {
+	srv      *capwire.Server
+	lis      net.Listener
+	clients  []*capwire.Client
+	plan     *faults.WirePlan
+	ingested atomic.Uint64
+	sent     uint64
+	next     int
+	bounceAt time.Time
+	bounced  bool
+}
+
+// startAgentPlane brings up the loopback server and N streaming clients.
+// onIngest observes every engine-accepted frame count (the soak's
+// metrics hook).
+func startAgentPlane(cfg soakConfig, eng *engine.Engine, onIngest func(n int)) (*agentPlane, error) {
+	p := &agentPlane{}
+	if cfg.AgentsWireChaos {
+		p.plan = faults.AggressiveWire(cfg.AgentsWireSeed)
+	}
+	srv, err := capwire.NewServer(capwire.ServerConfig{
+		Ingest: func(agentID string, caps []sniffer.Capture) int {
+			n := eng.IngestCapturesFrom("agent:"+agentID, caps)
+			p.ingested.Add(uint64(n))
+			if onIngest != nil {
+				onIngest(n)
+			}
+			return n
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	p.srv, p.lis = srv, lis
+
+	for i := 0; i < cfg.Agents; i++ {
+		ccfg := capwire.ClientConfig{
+			Addr:         lis.Addr().String(),
+			AgentID:      fmt.Sprintf("soak-%d", i+1),
+			Overflow:     capwire.OverflowBlock,
+			QueueBatches: 256,
+		}
+		if p.plan != nil {
+			ccfg.WrapConn = p.plan.WrapConn
+		}
+		c, err := capwire.NewClient(ccfg)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	// One forced disconnect mid-run guarantees the summary's resume count
+	// proves the cursor path, even with wire chaos off.
+	p.bounceAt = time.Now().Add(cfg.Duration / 2)
+	slog.Info("agent plane up", "component", "soak",
+		"agents", cfg.Agents, "addr", lis.Addr().String(),
+		"wireChaos", cfg.AgentsWireChaos)
+	return p, nil
+}
+
+// deliver streams one batch through the next agent, round-robin. Send
+// blocks on backpressure (OverflowBlock), so the soak's generator slows
+// down instead of losing accounting.
+func (p *agentPlane) deliver(ctx context.Context, batch []sniffer.Capture) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	c := p.clients[p.next%len(p.clients)]
+	p.next++
+	if !p.bounced && time.Now().After(p.bounceAt) {
+		p.bounced = true
+		// Flush first so a session (and a non-zero cursor) certainly
+		// exists — the reconnect then registers as a resume.
+		if err := c.Flush(ctx); err == nil {
+			c.Bounce()
+			slog.Info("forced agent bounce", "component", "soak", "agent", p.next%len(p.clients))
+		}
+	}
+	if err := c.Send(ctx, batch); err != nil {
+		return fmt.Errorf("agent send: %w", err)
+	}
+	p.sent++
+	return nil
+}
+
+// finish flushes every client, closes the plane, and folds the fleet's
+// books into the summary section. wallSeconds is the soak's measured
+// wall time for the throughput figure.
+func (p *agentPlane) finish(ctx context.Context, wallSeconds float64) (*agentsSummary, error) {
+	var replayed, dropped uint64
+	for _, c := range p.clients {
+		if err := c.Flush(ctx); err != nil {
+			return nil, fmt.Errorf("agent flush: %w", err)
+		}
+		st := c.Stats()
+		replayed += st.ReplayedBatches
+		dropped += st.DroppedBatches
+	}
+	t := p.srv.Totals()
+	sum := &agentsSummary{
+		Agents:          len(p.clients),
+		BatchesSent:     p.sent,
+		BatchesIngested: t.BatchesIngested,
+		DedupedBatches:  t.BatchesDeduped,
+		DedupedFrames:   t.FramesDeduped,
+		FramesIngested:  t.FramesIngested,
+		ReplayedBatches: replayed,
+		DroppedBatches:  dropped,
+		Resumes:         t.Resumes,
+		P99BatchMs:      t.P99BatchMs,
+		AccountingOk:    t.AccountingOk,
+	}
+	if wallSeconds > 0 {
+		sum.FramesPerSec = round2(float64(t.FramesIngested) / wallSeconds)
+	}
+	if p.plan != nil {
+		c := p.plan.Counters()
+		sum.WireFaults = &c
+	}
+	p.close()
+	return sum, nil
+}
+
+func (p *agentPlane) close() {
+	for _, c := range p.clients {
+		_ = c.Close()
+	}
+	if p.srv != nil {
+		_ = p.srv.Close()
+	}
+}

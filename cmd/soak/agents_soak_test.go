@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAgentsFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-agents-wire-chaos"}, "-agents"},
+		{[]string{"-agents-wire-seed", "3"}, "-agents-wire-chaos"},
+		{[]string{"-agents-out", "x.json"}, "-agents"},
+		{[]string{"-chaos-seed", "3"}, "-chaos"},
+		{[]string{"-agents", "-1"}, "-agents"},
+	}
+	for _, c := range cases {
+		_, err := parseFlags(c.args)
+		if err == nil {
+			t.Errorf("parseFlags(%v) accepted", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseFlags(%v) error %q does not mention %s", c.args, err, c.want)
+		}
+	}
+}
+
+// TestSoakThroughAgents runs a short soak through the loopback agent
+// plane under wire chaos: the books must balance (accountingOk), the
+// forced mid-run bounce must register as a resume, and the standalone
+// agents file must match the embedded section.
+func TestSoakThroughAgents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	agentsOut := filepath.Join(t.TempDir(), "agents.json")
+	cfg, err := parseFlags([]string{
+		"-devices", "50", "-aps", "60", "-seed", "2",
+		"-duration", "3s", "-speedup", "1200",
+		"-prof=false", "-ftdc-dir", t.TempDir(),
+		"-agents", "2", "-agents-wire-chaos", "-agents-wire-seed", "7",
+		"-agents-out", agentsOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := summary.Agents
+	if a == nil {
+		t.Fatal("summary has no agents section")
+	}
+	if a.Agents != 2 || a.FramesIngested == 0 || a.BatchesSent == 0 {
+		t.Fatalf("agent fleet idle: %+v", a)
+	}
+	if !a.AccountingOk {
+		t.Fatalf("exactly-once accounting violated: %+v", a)
+	}
+	if a.BatchesIngested != a.BatchesSent {
+		t.Fatalf("batches ingested %d != sent %d", a.BatchesIngested, a.BatchesSent)
+	}
+	if a.Resumes < 1 {
+		t.Fatalf("forced bounce produced no resume: %+v", a)
+	}
+	if summary.FramesIngested != a.FramesIngested+summary.Quarantined {
+		// Engine-accepted + quarantined frames must cover everything the
+		// wire delivered (quarantine happens inside IngestCapturesFrom, so
+		// server FramesIngested >= engine-accepted).
+		t.Logf("note: engine ingested %d, wire ingested %d, quarantined %d",
+			summary.FramesIngested, a.FramesIngested, summary.Quarantined)
+	}
+
+	data, err := os.ReadFile(agentsOut)
+	if err != nil {
+		t.Fatalf("agents-out not written: %v", err)
+	}
+	var standalone agentsSummary
+	if err := json.Unmarshal(data, &standalone); err != nil {
+		t.Fatal(err)
+	}
+	if standalone.FramesIngested != a.FramesIngested || standalone.Resumes != a.Resumes {
+		t.Fatalf("standalone agents file diverges: %+v vs %+v", standalone, a)
+	}
+	if cfg.Duration != 3*time.Second {
+		t.Fatalf("duration parse: %v", cfg.Duration)
+	}
+}

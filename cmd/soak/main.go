@@ -16,8 +16,9 @@
 //	     [-ftdc-dir DIR] [-ftdc-interval 1s]
 //	     [-prof] [-prof-dir DIR] [-stage-sample-every 1]
 //	     [-mutex-profile-fraction 0] [-block-profile-rate 0]
-//	     [-out BENCH_9.json] [-pr 9] [-run-name NAME] [-merge-micro FILE]
+//	     [-out BENCH_10.json] [-pr 10] [-run-name NAME] [-merge-micro FILE]
 //	     [-merge-extra NAME=FILE] [-metrics-addr :9642]
+//	     [-agents 0] [-agents-wire-chaos] [-agents-wire-seed 1] [-agents-out FILE]
 //
 // Each invocation is one run. -out merges the run into the summary file
 // under runs.<run-name> (default chaos_off/chaos_on), so a chaos-off and
@@ -34,6 +35,15 @@
 // the per-stage wall-clock shares from the marauder_stage_seconds
 // histograms (the soak times every fix: -stage-sample-every defaults to
 // 1 here, unlike the serving commands' 16).
+//
+// -agents N routes every capture batch through N loopback capwire
+// agents (real TCP, real framing, cursor acks) instead of calling the
+// engine directly, forcing one mid-run disconnect so the summary's
+// resume count proves the cursor path; -agents-wire-chaos additionally
+// runs the connections through the deterministic wire fault plan. The
+// fleet's throughput, dedup/resume accounting and p99 batch latency
+// land under "agents" in the run summary, and -agents-out FILE writes
+// the same section standalone for a later -merge-extra agents=FILE.
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"repro/internal/dot11"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/flagcheck"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/rf"
@@ -102,6 +113,13 @@ type soakConfig struct {
 	FrameEvery  time.Duration
 	FixSample   int
 	MetricsAddr string
+
+	// Agents > 0 routes capture batches through that many loopback
+	// capwire agents; AgentsOut writes the agents summary standalone.
+	Agents          int
+	AgentsWireChaos bool
+	AgentsWireSeed  int64
+	AgentsOut       string
 }
 
 // latencyStats is one latency distribution in the summary, in
@@ -152,6 +170,7 @@ type runSummary struct {
 	FTDC    ftdcInfo         `json:"ftdc"`
 	Faults  *faults.Counters `json:"faults,omitempty"`
 	Profile *profileSummary  `json:"profile,omitempty"`
+	Agents  *agentsSummary   `json:"agents,omitempty"`
 }
 
 // profileSummary is the run's self-profile: the decoded hot-function
@@ -201,8 +220,22 @@ func parseFlags(args []string) (soakConfig, error) {
 	fs.DurationVar(&c.FrameEvery, "frame-every", 500*time.Millisecond, "full map-frame cadence")
 	fs.IntVar(&c.FixSample, "fix-sample", 16, "devices individually fixed per frame tick for the fix-latency histogram")
 	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve /metrics and /debug/vars on this address while the soak runs")
+	fs.IntVar(&c.Agents, "agents", 0, "route capture batches through N loopback capwire agents (0 = ingest directly)")
+	fs.BoolVar(&c.AgentsWireChaos, "agents-wire-chaos", false, "run the agent connections through the deterministic wire fault plan")
+	fs.Int64Var(&c.AgentsWireSeed, "agents-wire-seed", 1, "wire fault plan seed")
+	fs.StringVar(&c.AgentsOut, "agents-out", "", "also write the agents summary JSON standalone to this file (for -merge-extra agents=FILE)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
+	}
+	if err := flagcheck.New(fs).
+		Requires("agents-wire-chaos", "agents").
+		Requires("agents-wire-seed", "agents-wire-chaos").
+		Requires("agents-out", "agents").
+		Requires("chaos-seed", "chaos").Err(); err != nil {
+		return c, err
+	}
+	if c.Agents < 0 {
+		return c, errors.New("-agents must be >= 0")
 	}
 	if c.RunName == "" {
 		if c.Chaos {
@@ -490,6 +523,26 @@ func soak(cfg soakConfig) (*runSummary, error) {
 
 	reg := telemetry.Default()
 	m := newSoakMetrics(reg)
+
+	// With -agents the batches take the wire: engine-accepted counts come
+	// back through the server's ingest callback instead of the direct
+	// return value.
+	var agents *agentPlane
+	if cfg.Agents > 0 {
+		agents, err = startAgentPlane(cfg, eng, func(n int) { m.ingested.Add(uint64(n)) })
+		if err != nil {
+			return nil, err
+		}
+		defer agents.close()
+	}
+	ingestBatch := func(batch []sniffer.Capture) (int, error) {
+		if agents == nil {
+			return eng.IngestCaptures(batch), nil
+		}
+		sendCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return 0, agents.deliver(sendCtx, batch)
+	}
 	rt := telemetry.NewRuntimeSampler(reg)
 
 	ftdcDir := cfg.FTDCDir
@@ -613,9 +666,14 @@ func soak(cfg soakConfig) (*runSummary, error) {
 			}
 			delivered += uint64(len(batch))
 			m.delivered.Add(uint64(len(batch)))
-			got := eng.IngestCaptures(batch)
-			ingested += uint64(got)
-			m.ingested.Add(uint64(got))
+			got, ierr := ingestBatch(batch)
+			if ierr != nil {
+				return nil, ierr
+			}
+			if agents == nil {
+				ingested += uint64(got)
+				m.ingested.Add(uint64(got))
+			}
 			simNow = stop
 			if stop >= simNext {
 				break
@@ -648,12 +706,29 @@ func soak(cfg soakConfig) (*runSummary, error) {
 		if held := injector.Drain(); len(held) > 0 {
 			delivered += uint64(len(held))
 			m.delivered.Add(uint64(len(held)))
-			got := eng.IngestCaptures(held)
-			ingested += uint64(got)
-			m.ingested.Add(uint64(got))
+			got, ierr := ingestBatch(held)
+			if ierr != nil {
+				return nil, ierr
+			}
+			if agents == nil {
+				ingested += uint64(got)
+				m.ingested.Add(uint64(got))
+			}
 		}
 	}
 	wall := time.Since(wallStart).Seconds()
+	// Close the books on the agent plane: flush every client so all sent
+	// frames are acked, then fold the fleet's accounting in.
+	var agentsSec *agentsSummary
+	if agents != nil {
+		flushCtx, flushCancel := context.WithTimeout(context.Background(), 30*time.Second)
+		agentsSec, err = agents.finish(flushCtx, wall)
+		flushCancel()
+		if err != nil {
+			return nil, err
+		}
+		ingested = agents.ingested.Load()
+	}
 	cancel()
 	<-recDone  // Run's final sample lands before Close seals the file
 	<-profDone // the profile cycle is cut short if still capturing
@@ -700,6 +775,19 @@ func soak(cfg soakConfig) (*runSummary, error) {
 	if plan.Enabled() {
 		c := plan.Counters()
 		summary.Faults = &c
+	}
+	if agentsSec != nil {
+		summary.Agents = agentsSec
+		if cfg.AgentsOut != "" {
+			if err := obs.WriteFileAtomic(cfg.AgentsOut, func(w io.Writer) error {
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				return enc.Encode(agentsSec)
+			}); err != nil {
+				return nil, err
+			}
+			slog.Info("agents summary written", "component", "soak", "path", cfg.AgentsOut)
+		}
 	}
 	if profiler != nil {
 		ps := &profileSummary{Artifacts: profDir}

@@ -1,0 +1,404 @@
+package capwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/sniffer"
+)
+
+// countingSink is an engine stand-in: it ingests decodable captures,
+// quarantines the rest, and records per-frame identities so tests can
+// prove exactly-once ingest.
+type countingSink struct {
+	mu          sync.Mutex
+	ingested    int
+	quarantined int
+	seen        map[string]int // Addr2/Seq -> ingest count
+}
+
+func newCountingSink() *countingSink {
+	return &countingSink{seen: make(map[string]int)}
+}
+
+func (s *countingSink) ingest(agent string, caps []sniffer.Capture) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range caps {
+		if c.Frame == nil {
+			s.quarantined++
+			continue
+		}
+		s.seen[fmt.Sprintf("%v/%d", c.Frame.Addr2, c.Frame.Seq)]++
+		s.ingested++
+		n++
+	}
+	return n
+}
+
+func (s *countingSink) snapshot() (ingested, quarantined, maxDup int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.seen {
+		if n > maxDup {
+			maxDup = n
+		}
+	}
+	return s.ingested, s.quarantined, maxDup
+}
+
+// startServer runs a capwire server on a loopback listener.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv, lis.Addr().String()
+}
+
+// uniqueCaptures builds n decodable captures with unique frame
+// identities drawn from (tag, from).
+func uniqueCaptures(tag byte, from, n int) []sniffer.Capture {
+	caps := make([]sniffer.Capture, 0, n)
+	for i := from; i < from+n; i++ {
+		src := dot11.MAC{0x02, tag, byte(i >> 16), byte(i >> 8), byte(i), 0x01}
+		caps = append(caps, sniffer.Capture{
+			TimeSec: float64(i) * 0.01,
+			Frame:   dot11.NewProbeRequest(src, "net", uint16(i%4096)),
+			Channel: 6, CardChannel: 6, SNRDB: 20, LiveMask: 1,
+		})
+	}
+	return caps
+}
+
+func fastClient(t *testing.T, addr, id string, mod func(*ClientConfig)) *Client {
+	t.Helper()
+	cfg := ClientConfig{
+		Addr: addr, AgentID: id,
+		HeartbeatEvery: 20 * time.Millisecond,
+		ReadTimeout:    300 * time.Millisecond,
+		WriteTimeout:   300 * time.Millisecond,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     40 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientServerHappyPath(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{Ingest: sink.ingest})
+	c := fastClient(t, addr, "hp-agent", nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	total := 0
+	for b := 0; b < 20; b++ {
+		caps := uniqueCaptures(0x10, total, 5)
+		total += len(caps)
+		if err := c.Send(ctx, caps); err != nil {
+			t.Fatalf("send %d: %v", b, err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	ingested, quarantined, maxDup := sink.snapshot()
+	if ingested != total || quarantined != 0 || maxDup > 1 {
+		t.Fatalf("sink: ingested %d quarantined %d maxDup %d, want %d/0/<=1", ingested, quarantined, maxDup, total)
+	}
+	cs := c.Stats()
+	if cs.AckedBatches != 20 || cs.AckedFrames != uint64(total) || cs.Pending != 0 {
+		t.Fatalf("client stats: %+v", cs)
+	}
+	agents := srv.Agents()
+	if len(agents) != 1 {
+		t.Fatalf("%d agents", len(agents))
+	}
+	a := agents[0]
+	if a.ID != "hp-agent" || a.Cursor != 20 || a.BatchesIngested != 20 ||
+		a.FramesIngested != uint64(total) || !a.AccountingOk || !a.Connected {
+		t.Fatalf("agent status: %+v", a)
+	}
+	tot := srv.Totals()
+	if !tot.AccountingOk || tot.FramesIngested != uint64(total) || tot.P99BatchMs <= 0 {
+		t.Fatalf("totals: %+v", tot)
+	}
+}
+
+func TestBounceResumesWithoutDoubleIngest(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{Ingest: sink.ingest})
+	c := fastClient(t, addr, "bounce-agent", nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	total := 0
+	for b := 0; b < 30; b++ {
+		caps := uniqueCaptures(0x20, total, 3)
+		total += len(caps)
+		if err := c.Send(ctx, caps); err != nil {
+			t.Fatalf("send %d: %v", b, err)
+		}
+		if b%10 == 9 {
+			// Drain first so a session is certainly established — Bounce
+			// on a not-yet-connected client is a no-op.
+			if err := c.Flush(ctx); err != nil {
+				t.Fatalf("flush before bounce: %v", err)
+			}
+			c.Bounce()
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	ingested, quarantined, maxDup := sink.snapshot()
+	if ingested != total || quarantined != 0 || maxDup > 1 {
+		t.Fatalf("sink: ingested %d quarantined %d maxDup %d, want %d/0/<=1", ingested, quarantined, maxDup, total)
+	}
+	a := srv.Agents()[0]
+	if !a.AccountingOk {
+		t.Fatalf("accounting broken: %+v", a)
+	}
+	if a.BatchesReceived != a.BatchesIngested+a.BatchesDeduped {
+		t.Fatalf("batch accounting: %+v", a)
+	}
+	cs := c.Stats()
+	if cs.Handshakes < 2 {
+		t.Fatalf("expected reconnects after bounces, stats: %+v", cs)
+	}
+	if a.Resumes < 1 {
+		t.Fatalf("expected a resume after bounce: %+v", a)
+	}
+}
+
+func TestRestartedAgentAdoptsPersistedCursor(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{
+		Ingest:  sink.ingest,
+		Cursors: map[string]uint64{"cold-agent": 5},
+	})
+	c := fastClient(t, addr, "cold-agent", nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for b := 0; b < 3; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x30, b*2, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := srv.Agents()[0]
+	if a.Cursor != 8 {
+		t.Fatalf("cursor = %d, want 8 (5 persisted + 3 sent)", a.Cursor)
+	}
+	if a.Resumes != 1 {
+		t.Fatalf("a restart against a persisted cursor is a resume: %+v", a)
+	}
+	ingested, _, _ := sink.snapshot()
+	if ingested != 6 {
+		t.Fatalf("ingested %d, want 6", ingested)
+	}
+}
+
+func TestOverflowDropOldestCountsEviction(t *testing.T) {
+	// Dial into a black hole: connections accepted, never answered, so
+	// nothing is ever sent and the queue can only grow.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := fastClient(t, lis.Addr().String(), "drop-agent", func(cfg *ClientConfig) {
+		cfg.QueueBatches = 4
+		cfg.Overflow = OverflowDropOldest
+	})
+	ctx := context.Background()
+	for b := 0; b < 10; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x40, b*2, 2)); err != nil {
+			t.Fatalf("drop-oldest send should not block: %v", err)
+		}
+	}
+	cs := c.Stats()
+	if cs.Pending != 4 {
+		t.Fatalf("pending = %d, want 4", cs.Pending)
+	}
+	if cs.DroppedBatches != 6 || cs.DroppedFrames != 12 {
+		t.Fatalf("drops = %d batches / %d frames, want 6 / 12", cs.DroppedBatches, cs.DroppedFrames)
+	}
+}
+
+func TestOverflowBlockHonorsContext(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	c := fastClient(t, lis.Addr().String(), "block-agent", func(cfg *ClientConfig) {
+		cfg.QueueBatches = 2
+		cfg.Overflow = OverflowBlock
+	})
+	ctx := context.Background()
+	for b := 0; b < 2; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x50, b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short, cancel := context.WithTimeout(ctx, 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.Send(short, uniqueCaptures(0x50, 10, 1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked send: %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) < 60*time.Millisecond {
+		t.Fatal("send returned before the context deadline")
+	}
+	if dropped := c.Stats().DroppedBatches; dropped != 0 {
+		t.Fatalf("block policy dropped %d batches", dropped)
+	}
+}
+
+func TestSlowLorisConnIsCutOthersSurvive(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{
+		Ingest:      sink.ingest,
+		ReadTimeout: 150 * time.Millisecond,
+	})
+
+	// The slow loris: handshakes, then dribbles half a batch and stalls.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello, _ := EncodeMessage(&Hello{AgentID: "loris"})
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(conn); err != nil {
+		t.Fatalf("helloack: %v", err)
+	}
+	batch, _ := EncodeMessage(&Batch{Seq: 1, Items: []Item{{TimeSec: 1, Data: []byte{1, 2, 3}}}})
+	if _, err := conn.Write(batch[:len(batch)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy agent keeps flowing while the loris hangs.
+	c := fastClient(t, addr, "healthy", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Send(ctx, uniqueCaptures(0x60, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("healthy agent starved by slow loris: %v", err)
+	}
+
+	// The server must cut the loris at its read deadline: our next read
+	// on the stalled conn reports the close.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("slow-loris conn still open well past the server read deadline")
+	}
+	for _, a := range srv.Agents() {
+		if a.ID == "loris" && a.Connected {
+			t.Fatalf("loris still marked connected: %+v", a)
+		}
+	}
+}
+
+func TestStaleAgentFlipsHealth(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{Ingest: sink.ingest})
+	c := fastClient(t, addr, "stale-agent", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Send(ctx, uniqueCaptures(0x70, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if reasons := srv.HealthReasons(time.Minute); len(reasons) != 0 {
+		t.Fatalf("fresh agent reported unhealthy: %v", reasons)
+	}
+	c.Close()
+	time.Sleep(50 * time.Millisecond)
+	reasons := srv.HealthReasons(time.Millisecond)
+	if len(reasons) == 0 {
+		t.Fatal("silent agent not reported")
+	}
+}
+
+func TestCursorSaveLoadRoundTrip(t *testing.T) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{Ingest: sink.ingest})
+	c := fastClient(t, addr, "persist-agent", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for b := 0; b < 4; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x80, b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), CursorFileName)
+	if err := srv.SaveCursors(path, 17); err != nil {
+		t.Fatal(err)
+	}
+	cursors, gen, err := LoadCursors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 17 {
+		t.Fatalf("generation = %d, want 17", gen)
+	}
+	if cursors["persist-agent"] != 4 {
+		t.Fatalf("cursors = %v, want persist-agent: 4", cursors)
+	}
+
+	missing, gen, err := LoadCursors(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || gen != 0 || len(missing) != 0 {
+		t.Fatalf("missing file: %v %d %v", missing, gen, err)
+	}
+}

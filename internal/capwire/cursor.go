@@ -1,0 +1,64 @@
+package capwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// cursorFormat versions the cursor file; readers reject other versions.
+const cursorFormat = 1
+
+// CursorFileName is the canonical file name inside a checkpoint
+// directory.
+const CursorFileName = "agent-cursors.json"
+
+// cursorDoc is the on-disk cursor file: the per-agent resume cursors
+// plus the obs checkpoint generation they were saved alongside. A
+// generation mismatch at recovery means the cursors are newer or older
+// than the restored observation store — safe either way (the protocol
+// is at-least-once; a stale cursor only widens the replay window), but
+// worth a log line.
+type cursorDoc struct {
+	Format     int               `json:"format"`
+	Generation uint64            `json:"generation"`
+	Cursors    map[string]uint64 `json:"cursors"`
+}
+
+// SaveCursors atomically writes the server's per-agent cursors next to
+// the obs checkpoint generation they accompany.
+func (s *Server) SaveCursors(path string, generation uint64) error {
+	doc := cursorDoc{Format: cursorFormat, Generation: generation, Cursors: s.Cursors()}
+	return obs.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	})
+}
+
+// LoadCursors reads a cursor file. A missing file is not an error —
+// there is simply nothing to resume — and returns an empty map with
+// generation 0.
+func LoadCursors(path string) (map[string]uint64, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]uint64{}, 0, nil
+		}
+		return nil, 0, fmt.Errorf("capwire: cursors %s: %w", path, err)
+	}
+	var doc cursorDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, 0, fmt.Errorf("capwire: cursors %s: %w", path, err)
+	}
+	if doc.Format != cursorFormat {
+		return nil, 0, fmt.Errorf("capwire: cursors %s: format %d, want %d", path, doc.Format, cursorFormat)
+	}
+	if doc.Cursors == nil {
+		doc.Cursors = map[string]uint64{}
+	}
+	return doc.Cursors, doc.Generation, nil
+}

@@ -1,0 +1,59 @@
+package capwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCapwireDecode is the codec's safety contract: arbitrary bytes
+// never panic the decoder, and any message it accepts re-encodes to
+// exactly the bytes it consumed — so a server that survives the fuzzer
+// cannot be wedged or desynced by a hostile or fault-mangled agent.
+func FuzzCapwireDecode(f *testing.F) {
+	for _, msg := range []any{
+		&Hello{AgentID: "agent-1"},
+		&HelloAck{Cursor: 41},
+		&Ack{Cursor: 1 << 40},
+		&Heartbeat{QueuedBatches: 3},
+		&Batch{Seq: 7, Items: []Item{
+			{TimeSec: 1.5, SNRDB: 20, Channel: 6, CardChannel: 6, LiveMask: 1, HasFrame: true, Data: []byte{1, 2, 3}},
+			{TimeSec: 2, FromAP: true},
+		}},
+	} {
+		b, err := EncodeMessage(msg)
+		if err != nil {
+			f.Fatalf("seed encode %T: %v", msg, err)
+		}
+		f.Add(b)
+		// Mutated variants: flipped CRC, truncated tail, version skew.
+		flip := append([]byte(nil), b...)
+		flip[len(flip)-1] ^= 0xFF
+		f.Add(flip)
+		f.Add(b[:len(b)-2])
+		skew := append([]byte(nil), b...)
+		skew[4] = 2
+		f.Add(skew)
+	}
+	f.Add([]byte("MRCW"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := DecodeMessage(data)
+		if err != nil {
+			if msg != nil || n != 0 {
+				t.Fatalf("error with non-zero result: msg=%v n=%d", msg, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("accepted message consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("lossy decode: consumed %x, re-encoded %x", data[:n], re)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package capwire
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sniffer"
+)
+
+// TestKillAndResumeAccounting is the acceptance invariant for the
+// distributed capture plane, run under -race: for every wire-chaos seed,
+// an agent that is torn down mid-stream (fault-plan tears, a simulated
+// process kill, plus forced bounces) resumes from its acked cursor and
+// the books balance exactly —
+//
+//	frames received by the server == ingested + quarantined + deduped
+//	every unique frame ingested exactly once
+//	every enqueued frame acked (nothing lost)
+func TestKillAndResumeAccounting(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runKillAndResume(t, seed)
+		})
+	}
+}
+
+func runKillAndResume(t *testing.T, seed int64) {
+	sink := newCountingSink()
+	srv, addr := startServer(t, ServerConfig{
+		Ingest:       sink.ingest,
+		ReadTimeout:  400 * time.Millisecond,
+		WriteTimeout: 400 * time.Millisecond,
+	})
+	plan, err := faults.NewWire(faults.WireConfig{
+		Seed:         seed,
+		TearProb:     0.05,
+		TruncateProb: 0.04,
+		CorruptProb:  0.06,
+		DupProb:      0.08,
+		ReorderProb:  0.08,
+		StallProb:    0.02,
+		StallSec:     0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const agentID = "chaos-agent"
+	newChaosClient := func() *Client {
+		return fastClient(t, addr, agentID, func(cfg *ClientConfig) {
+			cfg.QueueBatches = 32
+			cfg.Overflow = OverflowBlock
+			cfg.WrapConn = plan.WrapConn
+			cfg.HeartbeatEvery = 15 * time.Millisecond
+			cfg.ReadTimeout = 250 * time.Millisecond
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	const batchesPerLife = 80
+	const framesPerBatch = 4
+	totalFrames, totalCorrupt := 0, 0
+	sendLife := func(c *Client, tag byte) {
+		t.Helper()
+		for b := 0; b < batchesPerLife; b++ {
+			caps := uniqueCaptures(tag, b*framesPerBatch, framesPerBatch)
+			// Sprinkle agent-side corrupt captures: they must come out
+			// the other end as quarantined, never as silent loss.
+			if b%10 == 3 {
+				caps[0] = sniffer.Capture{TimeSec: caps[0].TimeSec, Raw: []byte{0xba, 0xad}}
+				totalCorrupt++
+			}
+			totalFrames += len(caps)
+			if err := c.Send(ctx, caps); err != nil {
+				t.Fatalf("send %d: %v", b, err)
+			}
+			if b%25 == 24 {
+				c.Bounce() // forced disconnect mid-stream
+			}
+		}
+		if err := c.Flush(ctx); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+
+	// First life: stream under wire chaos, then die with nothing pending
+	// (Flush then Close models a kill between acked batches; the torn
+	// tail case is covered continuously by the fault plan's tears).
+	c1 := newChaosClient()
+	sendLife(c1, 0xA1)
+	stats1 := c1.Stats()
+	c1.Close()
+
+	// Second life: same agent ID, fresh client — the SIGKILL restart. It
+	// must adopt the persisted cursor and keep the seq stream gapless.
+	c2 := newChaosClient()
+	sendLife(c2, 0xA2)
+	stats2 := c2.Stats()
+
+	ingested, quarantined, maxDup := sink.snapshot()
+	if maxDup > 1 {
+		t.Fatalf("a frame was ingested %d times — exactly-once violated", maxDup)
+	}
+	if ingested+quarantined != totalFrames {
+		t.Fatalf("ingested %d + quarantined %d != sent %d", ingested, quarantined, totalFrames)
+	}
+	if quarantined != totalCorrupt {
+		t.Fatalf("quarantined %d, want %d (the corrupt captures)", quarantined, totalCorrupt)
+	}
+
+	agents := srv.Agents()
+	if len(agents) != 1 {
+		t.Fatalf("%d agents, want 1", len(agents))
+	}
+	a := agents[0]
+	if !a.AccountingOk {
+		t.Fatalf("server accounting mismatch: %+v", a)
+	}
+	if a.FramesIngested+a.FramesQuarantined != uint64(totalFrames) {
+		t.Fatalf("server frames %d+%d != sent %d", a.FramesIngested, a.FramesQuarantined, totalFrames)
+	}
+	wantBatches := uint64(2 * batchesPerLife)
+	if a.BatchesIngested != wantBatches {
+		t.Fatalf("batches ingested %d, want %d", a.BatchesIngested, wantBatches)
+	}
+	if a.Cursor != wantBatches {
+		t.Fatalf("cursor %d, want %d", a.Cursor, wantBatches)
+	}
+	// The restart must have resumed from the acked cursor, and the acked
+	// totals must cover everything both lives enqueued.
+	if a.Resumes < 1 {
+		t.Fatalf("no resume recorded across the restart: %+v", a)
+	}
+	if got := stats1.AckedBatches + stats2.AckedBatches; got != wantBatches {
+		t.Fatalf("client acked %d batches, want %d", got, wantBatches)
+	}
+	if c := plan.Counters(); c == (faults.WireCounters{}) {
+		t.Fatal("wire plan injected nothing — the run proved nothing")
+	} else {
+		t.Logf("seed %d: faults %+v, server %+v, client handshakes %d+%d",
+			seed, c, a, stats1.Handshakes, stats2.Handshakes)
+	}
+}

@@ -1,0 +1,431 @@
+// Package capwire is the distributed capture plane's wire protocol and
+// runtime: a stdlib-only, length-prefixed, CRC-32-checksummed message
+// stream that moves sniffer capture batches from remote agents
+// (cmd/capagent) into the central engine (cmd/marauder).
+//
+// The protocol is built for flaky capture infrastructure. Delivery is
+// at-least-once with exactly-once ingest accounting: every batch carries
+// a per-agent monotonic sequence number, the server acks a cumulative
+// cursor, an agent replays its unacked tail after a reconnect, and the
+// server dedups anything at or below its cursor. The cursor persists
+// alongside the obs checkpoint generation, so resume survives an engine
+// restart too.
+//
+// Wire format (all integers big-endian):
+//
+//	message  = magic "MRCW" | version u8 | type u8 | payloadLen u32
+//	           | payload | crc32 u32
+//
+// The CRC-32 (IEEE) covers version, type, payloadLen and payload — a
+// bit-flipped message fails the checksum and is rejected at the framing
+// layer, turning transport corruption into a clean reconnect + replay
+// instead of poisoned ingest. One Write call carries exactly one message
+// (the contract the faults.WirePlan conn wrapper relies on).
+package capwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/dot11"
+	"repro/internal/sniffer"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version carried in every message.
+	Version = 1
+
+	headerLen  = 10 // magic(4) + version(1) + type(1) + payloadLen(4)
+	trailerLen = 4  // crc32
+
+	// MaxPayload bounds a single message's payload; a decoder rejects
+	// larger claims before allocating.
+	MaxPayload = 8 << 20
+
+	// MaxBatchItems bounds the captures in one batch.
+	MaxBatchItems = 1 << 16
+
+	// MaxAgentID bounds the agent identifier length.
+	MaxAgentID = 128
+
+	// maxItemData bounds one capture's encoded frame bytes; generous next
+	// to dot11's ~2400-byte MTU but tight enough to starve hostile length
+	// claims.
+	maxItemData = 1 << 16
+)
+
+var magic = [4]byte{'M', 'R', 'C', 'W'}
+
+// Message types.
+const (
+	// TypeHello opens a session: agent -> server, carries the agent ID.
+	TypeHello = 1
+	// TypeHelloAck answers a Hello: server -> agent, carries the agent's
+	// resume cursor (highest contiguous batch seq the server has ingested).
+	TypeHelloAck = 2
+	// TypeBatch carries one capture batch: agent -> server.
+	TypeBatch = 3
+	// TypeAck acknowledges batches: server -> agent, cumulative cursor.
+	TypeAck = 4
+	// TypeHeartbeat keeps an idle session alive: agent -> server; the
+	// server answers with an Ack so both directions see traffic.
+	TypeHeartbeat = 5
+)
+
+// Hello opens an agent session.
+type Hello struct {
+	// AgentID names the agent; the server keys cursors and accounting
+	// by it. 1..MaxAgentID bytes.
+	AgentID string
+}
+
+// HelloAck completes the handshake with the agent's resume cursor.
+type HelloAck struct {
+	// Cursor is the highest contiguous batch seq the server has ingested
+	// for this agent; the agent resumes from Cursor+1.
+	Cursor uint64
+}
+
+// Ack acknowledges every batch up to and including Cursor.
+type Ack struct {
+	Cursor uint64
+}
+
+// Heartbeat is the agent's keepalive; QueuedBatches reports its send
+// backlog so the server can expose per-agent lag.
+type Heartbeat struct {
+	QueuedBatches uint32
+}
+
+// Item is one capture on the wire. Data holds the encoded 802.11 frame
+// when HasFrame is set, or the raw (possibly corrupt) capture bytes when
+// not; either way the server hands the result to the engine, whose
+// quarantine path owns undecodable frames.
+type Item struct {
+	TimeSec     float64
+	SNRDB       float64
+	Channel     uint16
+	CardChannel uint16
+	LiveMask    uint16
+	FromAP      bool
+	HasFrame    bool
+	Data        []byte
+}
+
+// Batch is one sequenced capture batch.
+type Batch struct {
+	// Seq is the agent-assigned monotonic batch sequence number,
+	// starting at 1.
+	Seq   uint64
+	Items []Item
+}
+
+// itemFlags bits.
+const (
+	flagFromAP   = 1 << 0
+	flagHasFrame = 1 << 1
+)
+
+// AppendMessage appends msg's wire encoding to dst and returns the
+// extended slice. msg must be one of *Hello, *HelloAck, *Batch, *Ack,
+// *Heartbeat.
+func AppendMessage(dst []byte, msg any) ([]byte, error) {
+	var typ byte
+	var payload []byte
+	switch m := msg.(type) {
+	case *Hello:
+		if len(m.AgentID) == 0 || len(m.AgentID) > MaxAgentID {
+			return nil, fmt.Errorf("capwire: agent ID length %d, want 1..%d", len(m.AgentID), MaxAgentID)
+		}
+		typ = TypeHello
+		payload = make([]byte, 0, 2+len(m.AgentID))
+		payload = binary.BigEndian.AppendUint16(payload, uint16(len(m.AgentID)))
+		payload = append(payload, m.AgentID...)
+	case *HelloAck:
+		typ = TypeHelloAck
+		payload = binary.BigEndian.AppendUint64(nil, m.Cursor)
+	case *Ack:
+		typ = TypeAck
+		payload = binary.BigEndian.AppendUint64(nil, m.Cursor)
+	case *Heartbeat:
+		typ = TypeHeartbeat
+		payload = binary.BigEndian.AppendUint32(nil, m.QueuedBatches)
+	case *Batch:
+		if len(m.Items) > MaxBatchItems {
+			return nil, fmt.Errorf("capwire: batch has %d items, max %d", len(m.Items), MaxBatchItems)
+		}
+		typ = TypeBatch
+		payload = binary.BigEndian.AppendUint64(nil, m.Seq)
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(m.Items)))
+		for i := range m.Items {
+			it := &m.Items[i]
+			if len(it.Data) > maxItemData {
+				return nil, fmt.Errorf("capwire: item %d data %d bytes, max %d", i, len(it.Data), maxItemData)
+			}
+			payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(it.TimeSec))
+			payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(it.SNRDB))
+			payload = binary.BigEndian.AppendUint16(payload, it.Channel)
+			payload = binary.BigEndian.AppendUint16(payload, it.CardChannel)
+			payload = binary.BigEndian.AppendUint16(payload, it.LiveMask)
+			var flags byte
+			if it.FromAP {
+				flags |= flagFromAP
+			}
+			if it.HasFrame {
+				flags |= flagHasFrame
+			}
+			payload = append(payload, flags)
+			payload = binary.BigEndian.AppendUint32(payload, uint32(len(it.Data)))
+			payload = append(payload, it.Data...)
+		}
+	default:
+		return nil, fmt.Errorf("capwire: cannot encode %T", msg)
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("capwire: payload %d bytes, max %d", len(payload), MaxPayload)
+	}
+
+	start := len(dst)
+	dst = append(dst, magic[:]...)
+	dst = append(dst, Version, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start+4 : len(dst)]) // version..payload
+	dst = binary.BigEndian.AppendUint32(dst, sum)
+	return dst, nil
+}
+
+// EncodeMessage returns msg's wire encoding.
+func EncodeMessage(msg any) ([]byte, error) {
+	return AppendMessage(nil, msg)
+}
+
+// DecodeMessage decodes one message from the front of b, returning the
+// message and the number of bytes consumed. Any framing, checksum or
+// payload violation is an error; decoding never panics on arbitrary
+// input, and an accepted message re-encodes to exactly the consumed
+// bytes.
+func DecodeMessage(b []byte) (any, int, error) {
+	if len(b) < headerLen+trailerLen {
+		return nil, 0, fmt.Errorf("capwire: short message: %d bytes", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, 0, fmt.Errorf("capwire: bad magic %x", b[:4])
+	}
+	if b[4] != Version {
+		return nil, 0, fmt.Errorf("capwire: unsupported version %d", b[4])
+	}
+	typ := b[5]
+	plen := binary.BigEndian.Uint32(b[6:10])
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("capwire: payload claims %d bytes, max %d", plen, MaxPayload)
+	}
+	total := headerLen + int(plen) + trailerLen
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("capwire: message claims %d bytes, have %d", total, len(b))
+	}
+	payload := b[headerLen : headerLen+int(plen)]
+	want := binary.BigEndian.Uint32(b[total-trailerLen : total])
+	if got := crc32.ChecksumIEEE(b[4 : total-trailerLen]); got != want {
+		return nil, 0, fmt.Errorf("capwire: checksum mismatch: %08x != %08x", got, want)
+	}
+	msg, err := decodePayload(typ, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg, total, nil
+}
+
+// decodePayload parses a checksum-verified payload for one message type,
+// rejecting trailing or missing bytes so decode(encode(m)) is exact.
+func decodePayload(typ byte, p []byte) (any, error) {
+	switch typ {
+	case TypeHello:
+		if len(p) < 2 {
+			return nil, fmt.Errorf("capwire: hello payload %d bytes", len(p))
+		}
+		n := int(binary.BigEndian.Uint16(p[:2]))
+		if n == 0 || n > MaxAgentID || len(p) != 2+n {
+			return nil, fmt.Errorf("capwire: hello ID length %d, payload %d", n, len(p))
+		}
+		return &Hello{AgentID: string(p[2 : 2+n])}, nil
+	case TypeHelloAck:
+		if len(p) != 8 {
+			return nil, fmt.Errorf("capwire: helloack payload %d bytes, want 8", len(p))
+		}
+		return &HelloAck{Cursor: binary.BigEndian.Uint64(p)}, nil
+	case TypeAck:
+		if len(p) != 8 {
+			return nil, fmt.Errorf("capwire: ack payload %d bytes, want 8", len(p))
+		}
+		return &Ack{Cursor: binary.BigEndian.Uint64(p)}, nil
+	case TypeHeartbeat:
+		if len(p) != 4 {
+			return nil, fmt.Errorf("capwire: heartbeat payload %d bytes, want 4", len(p))
+		}
+		return &Heartbeat{QueuedBatches: binary.BigEndian.Uint32(p)}, nil
+	case TypeBatch:
+		if len(p) < 12 {
+			return nil, fmt.Errorf("capwire: batch payload %d bytes", len(p))
+		}
+		b := &Batch{Seq: binary.BigEndian.Uint64(p[:8])}
+		count := binary.BigEndian.Uint32(p[8:12])
+		if count > MaxBatchItems {
+			return nil, fmt.Errorf("capwire: batch claims %d items, max %d", count, MaxBatchItems)
+		}
+		p = p[12:]
+		b.Items = make([]Item, 0, min(int(count), 1024))
+		for i := uint32(0); i < count; i++ {
+			const itemHeader = 8 + 8 + 2 + 2 + 2 + 1 + 4
+			if len(p) < itemHeader {
+				return nil, fmt.Errorf("capwire: batch item %d: %d bytes left", i, len(p))
+			}
+			it := Item{
+				TimeSec:     math.Float64frombits(binary.BigEndian.Uint64(p[0:8])),
+				SNRDB:       math.Float64frombits(binary.BigEndian.Uint64(p[8:16])),
+				Channel:     binary.BigEndian.Uint16(p[16:18]),
+				CardChannel: binary.BigEndian.Uint16(p[18:20]),
+				LiveMask:    binary.BigEndian.Uint16(p[20:22]),
+			}
+			flags := p[22]
+			if flags&^(flagFromAP|flagHasFrame) != 0 {
+				return nil, fmt.Errorf("capwire: batch item %d: unknown flags %02x", i, flags)
+			}
+			it.FromAP = flags&flagFromAP != 0
+			it.HasFrame = flags&flagHasFrame != 0
+			dlen := binary.BigEndian.Uint32(p[23:27])
+			if dlen > maxItemData {
+				return nil, fmt.Errorf("capwire: batch item %d: data claims %d bytes", i, dlen)
+			}
+			p = p[itemHeader:]
+			if len(p) < int(dlen) {
+				return nil, fmt.Errorf("capwire: batch item %d: data %d bytes, %d left", i, dlen, len(p))
+			}
+			if dlen > 0 {
+				it.Data = append([]byte(nil), p[:dlen]...)
+			}
+			p = p[dlen:]
+			b.Items = append(b.Items, it)
+		}
+		if len(p) != 0 {
+			return nil, fmt.Errorf("capwire: batch has %d trailing bytes", len(p))
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("capwire: unknown message type %d", typ)
+}
+
+// ReadMessage reads exactly one message from r. It allocates at most
+// MaxPayload bytes for the payload and returns any framing error as-is;
+// io.EOF before the first header byte means a clean close.
+func ReadMessage(r io.Reader) (any, error) {
+	head := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if [4]byte(head[:4]) != magic {
+		return nil, fmt.Errorf("capwire: bad magic %x", head[:4])
+	}
+	if head[4] != Version {
+		return nil, fmt.Errorf("capwire: unsupported version %d", head[4])
+	}
+	plen := binary.BigEndian.Uint32(head[6:10])
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("capwire: payload claims %d bytes, max %d", plen, MaxPayload)
+	}
+	rest := make([]byte, int(plen)+trailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	buf := append(head, rest...)
+	msg, _, err := DecodeMessage(buf)
+	return msg, err
+}
+
+// ItemFromCapture converts a sniffer capture to its wire form. Decoded
+// frames are re-encoded (bit-exact by dot11's round-trip contract);
+// corrupt captures travel as their raw bytes with HasFrame unset.
+func ItemFromCapture(c sniffer.Capture) (Item, error) {
+	it := Item{
+		TimeSec:     c.TimeSec,
+		SNRDB:       c.SNRDB,
+		Channel:     clampUint16(c.Channel),
+		CardChannel: clampUint16(c.CardChannel),
+		LiveMask:    c.LiveMask,
+		FromAP:      c.FromAP,
+	}
+	if c.Frame != nil {
+		data, err := c.Frame.Encode()
+		if err != nil {
+			return Item{}, fmt.Errorf("capwire: encode frame: %w", err)
+		}
+		it.Data = data
+		it.HasFrame = true
+	} else {
+		it.Data = c.Raw
+	}
+	return it, nil
+}
+
+// ToCapture converts a wire item back to a sniffer capture. An item
+// whose frame bytes no longer decode (wire corruption beyond what the
+// CRC caught cannot reach here; this covers agent-side corruption sent
+// deliberately as HasFrame) degrades to a raw capture for the engine's
+// quarantine path.
+func (it Item) ToCapture() sniffer.Capture {
+	c := sniffer.Capture{
+		TimeSec:     it.TimeSec,
+		Channel:     int(it.Channel),
+		CardChannel: int(it.CardChannel),
+		SNRDB:       it.SNRDB,
+		FromAP:      it.FromAP,
+		LiveMask:    it.LiveMask,
+	}
+	if it.HasFrame {
+		if f, err := dot11.Decode(it.Data); err == nil {
+			c.Frame = f
+			return c
+		}
+	}
+	c.Raw = append([]byte(nil), it.Data...)
+	return c
+}
+
+// BatchFromCaptures builds a sequenced wire batch from captures.
+func BatchFromCaptures(seq uint64, caps []sniffer.Capture) (*Batch, error) {
+	b := &Batch{Seq: seq, Items: make([]Item, 0, len(caps))}
+	for i, c := range caps {
+		it, err := ItemFromCapture(c)
+		if err != nil {
+			return nil, fmt.Errorf("capwire: capture %d: %w", i, err)
+		}
+		b.Items = append(b.Items, it)
+	}
+	return b, nil
+}
+
+// ToCaptures converts the batch's items for engine ingest.
+func (b *Batch) ToCaptures() []sniffer.Capture {
+	caps := make([]sniffer.Capture, 0, len(b.Items))
+	for _, it := range b.Items {
+		caps = append(caps, it.ToCapture())
+	}
+	return caps
+}
+
+func clampUint16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(v)
+}

@@ -63,6 +63,12 @@ type Config struct {
 	// 0 means the default (16), 1 times every fix, negative disables
 	// stage timing. Unsampled fixes pay one atomic add.
 	StageSampleEvery int
+	// StaleIngestAfter flags a capture source (the local sniffer fleet or
+	// a remote capwire agent) as stale in Health when it has delivered
+	// nothing for this long after having delivered at least once — so a
+	// silently dead capture path degrades /api/health instead of starving
+	// the map quietly. 0 disables the check.
+	StaleIngestAfter time.Duration
 }
 
 // Engine runs the concurrent ingest→observe→localize pipeline. It is safe
@@ -82,6 +88,12 @@ type Engine struct {
 
 	// rejects is the bounded quarantine for corrupt/undecodable captures.
 	rejects quarantine
+
+	// srcMu guards sources, the per-capture-source delivery liveness used
+	// by Health to flag silently dead paths (see sources.go).
+	srcMu      sync.Mutex
+	sources    map[string]*sourceState
+	staleAfter time.Duration
 
 	// refreshAttempts/refreshBackoff bound RefreshKnowledge's retry loop.
 	refreshAttempts int
@@ -197,6 +209,7 @@ func New(cfg Config) (*Engine, error) {
 		refreshAttempts: attempts,
 		refreshBackoff:  backoff,
 		stageEvery:      stageEvery,
+		staleAfter:      max(cfg.StaleIngestAfter, 0),
 	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
@@ -243,8 +256,20 @@ func (e *Engine) Ingest(timeSec float64, f *dot11.Frame, fromAP bool) {
 // diverted to the counted quarantine queue (see Quarantine) instead of
 // erroring the batch or silently disappearing.
 func (e *Engine) IngestCaptures(caps []sniffer.Capture) int {
+	return e.IngestCapturesFrom(SourceLocal, caps)
+}
+
+// IngestCapturesFrom is IngestCaptures with an explicit capture-source
+// name (SourceLocal for the in-process sniffers, "agent:<id>" for remote
+// capwire agents). Any non-empty delivery — even one that quarantines
+// every capture — marks the source alive, because the path itself worked;
+// content problems are the quarantine counters' job.
+func (e *Engine) IngestCapturesFrom(source string, caps []sniffer.Capture) int {
 	if len(caps) == 0 {
 		return 0
+	}
+	if source != "" {
+		e.markSource(source, len(caps))
 	}
 	ingestStart := time.Now()
 	defer mStageIngest.ObserveSince(ingestStart)
@@ -744,6 +769,11 @@ func (e *Engine) Health() Health {
 		h.Reasons = append(h.Reasons,
 			fmt.Sprintf("knowledge refresh failing (%d consecutive, serving generation %d)",
 				n, h.KnowledgeGen))
+	}
+	h.Sources = e.sourceHealth(time.Now())
+	if stale := staleSourceReasons(h.Sources); len(stale) > 0 {
+		h.Healthy = false
+		h.Reasons = append(h.Reasons, stale...)
 	}
 	return h
 }

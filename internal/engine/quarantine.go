@@ -111,4 +111,7 @@ type Health struct {
 	// TrainedOnce reports whether a trained algorithm has ever produced
 	// working knowledge (meaningless but true for untrained algorithms).
 	TrainedOnce bool `json:"trainedOnce"`
+	// Sources maps each capture source that has ever delivered to its
+	// delivery liveness; a Stale entry degrades Healthy.
+	Sources map[string]SourceHealth `json:"sources,omitempty"`
 }

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dot11"
+	"repro/internal/sniffer"
+)
+
+func sourceCaps(b byte, n int) []sniffer.Capture {
+	caps := make([]sniffer.Capture, n)
+	for i := range caps {
+		f := dot11.NewProbeRequest(dot11.MAC{0x02, 0xee, 0, 0, b, byte(i)}, "net", uint16(i))
+		caps[i] = sniffer.Capture{TimeSec: float64(i), Frame: f}
+	}
+	return caps
+}
+
+// TestHealthFlagsSilentCaptureSource is the regression test for the
+// silently-dead-capture-path failure: a source that delivered once and
+// then went quiet must flip Health to degraded, and a fresh delivery
+// must clear it.
+func TestHealthFlagsSilentCaptureSource(t *testing.T) {
+	eng, err := New(Config{WindowSec: 10, StaleIngestAfter: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng.IngestCaptures(sourceCaps(1, 3))                      // SourceLocal
+	eng.IngestCapturesFrom("agent:a1", sourceCaps(2, 2))      // remote agent
+	if n := eng.IngestCapturesFrom("agent:a1", nil); n != 0 { // empty: no-op
+		t.Fatalf("empty batch ingested %d", n)
+	}
+
+	h := eng.Health()
+	if !h.Healthy {
+		t.Fatalf("fresh deliveries reported unhealthy: %+v", h)
+	}
+	local, ok := h.Sources[SourceLocal]
+	if !ok || local.Frames != 3 || local.Batches != 1 || local.Stale {
+		t.Fatalf("local source wrong: %+v (present=%v)", local, ok)
+	}
+	agent, ok := h.Sources["agent:a1"]
+	if !ok || agent.Frames != 2 || agent.Batches != 1 || agent.Stale {
+		t.Fatalf("agent source wrong: %+v (present=%v)", agent, ok)
+	}
+
+	// Keep local alive past the threshold while the agent goes silent.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		eng.IngestCaptures(sourceCaps(1, 1))
+		time.Sleep(10 * time.Millisecond)
+	}
+	h = eng.Health()
+	if h.Healthy {
+		t.Fatalf("silent agent source did not degrade health: %+v", h)
+	}
+	if !h.Sources["agent:a1"].Stale {
+		t.Fatalf("agent source not marked stale: %+v", h.Sources)
+	}
+	if h.Sources[SourceLocal].Stale {
+		t.Fatalf("live local source marked stale: %+v", h.Sources)
+	}
+	found := false
+	for _, r := range h.Reasons {
+		if strings.Contains(r, `capture source "agent:a1" silent`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no stale-source reason in %v", h.Reasons)
+	}
+
+	// A fresh delivery clears the degradation.
+	eng.IngestCapturesFrom("agent:a1", sourceCaps(2, 1))
+	if h = eng.Health(); !h.Healthy {
+		t.Fatalf("health did not recover after delivery: %+v", h)
+	}
+}
+
+// TestHealthSourcesWithoutStaleCheck: with StaleIngestAfter unset the
+// sources are still reported but never degrade health.
+func TestHealthSourcesWithoutStaleCheck(t *testing.T) {
+	eng, err := New(Config{WindowSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.IngestCapturesFrom("agent:x", sourceCaps(3, 1))
+	time.Sleep(20 * time.Millisecond)
+	h := eng.Health()
+	if !h.Healthy {
+		t.Fatalf("disabled stale check degraded health: %+v", h)
+	}
+	sh, ok := h.Sources["agent:x"]
+	if !ok || sh.Stale || sh.LastIngestAgeSec <= 0 {
+		t.Fatalf("source not reported sanely: %+v (present=%v)", sh, ok)
+	}
+}
+
+// TestQuarantinedDeliveryStillMarksSourceAlive: a batch that quarantines
+// everything still proves the path works.
+func TestQuarantinedDeliveryStillMarksSourceAlive(t *testing.T) {
+	eng, err := New(Config{WindowSec: 10, StaleIngestAfter: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := eng.IngestCapturesFrom("agent:bad", []sniffer.Capture{{TimeSec: 1, Raw: []byte{0xba, 0xad}}})
+	if n != 0 {
+		t.Fatalf("corrupt capture ingested: %d", n)
+	}
+	h := eng.Health()
+	sh, ok := h.Sources["agent:bad"]
+	if !ok || sh.Frames != 1 || sh.Batches != 1 {
+		t.Fatalf("all-quarantined delivery not tracked: %+v (present=%v)", sh, ok)
+	}
+	if !h.Healthy {
+		t.Fatalf("fresh all-quarantined delivery degraded health: %+v", h)
+	}
+}

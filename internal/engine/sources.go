@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SourceLocal names the in-process capture path (the sniffer fleet
+// running inside cmd/marauder); remote capwire agents ingest under
+// "agent:<id>".
+const SourceLocal = "local"
+
+// sourceState tracks one capture source's delivery liveness. A source
+// is "alive" when batches keep arriving — even all-quarantined batches
+// count, because the path itself is working and the quarantine counters
+// already surface bad content.
+type sourceState struct {
+	frames  uint64
+	batches uint64
+	last    time.Time
+}
+
+// SourceHealth is one capture source's entry in Health.Sources.
+type SourceHealth struct {
+	// Frames counts captures delivered (ingested or quarantined).
+	Frames uint64 `json:"frames"`
+	// Batches counts delivery calls.
+	Batches uint64 `json:"batches"`
+	// LastIngestAgeSec is the age of the most recent delivery.
+	LastIngestAgeSec float64 `json:"lastIngestAgeSec"`
+	// Stale marks a source silent past Config.StaleIngestAfter.
+	Stale bool `json:"stale"`
+}
+
+// markSource records one delivery from a named capture source.
+func (e *Engine) markSource(source string, frames int) {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	if e.sources == nil {
+		e.sources = make(map[string]*sourceState)
+	}
+	st := e.sources[source]
+	if st == nil {
+		st = &sourceState{}
+		e.sources[source] = st
+	}
+	st.frames += uint64(frames)
+	st.batches++
+	st.last = time.Now()
+}
+
+// sourceHealth snapshots every source, flagging the stale ones.
+func (e *Engine) sourceHealth(now time.Time) map[string]SourceHealth {
+	e.srcMu.Lock()
+	defer e.srcMu.Unlock()
+	if len(e.sources) == 0 {
+		return nil
+	}
+	out := make(map[string]SourceHealth, len(e.sources))
+	for name, st := range e.sources {
+		age := now.Sub(st.last).Seconds()
+		out[name] = SourceHealth{
+			Frames:           st.frames,
+			Batches:          st.batches,
+			LastIngestAgeSec: age,
+			Stale:            e.staleAfter > 0 && age > e.staleAfter.Seconds(),
+		}
+	}
+	return out
+}
+
+// staleSourceReasons renders degradation lines for stale sources in
+// deterministic (sorted) order.
+func staleSourceReasons(sources map[string]SourceHealth) []string {
+	var names []string
+	for name, sh := range sources {
+		if sh.Stale {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	reasons := make([]string, 0, len(names))
+	for _, name := range names {
+		reasons = append(reasons, fmt.Sprintf(
+			"capture source %q silent for %.0fs", name, sources[name].LastIngestAgeSec))
+	}
+	return reasons
+}

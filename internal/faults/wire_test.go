@@ -1,0 +1,252 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeConn is an in-memory net.Conn write sink for wire-plan tests.
+type fakeConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *fakeConn) Read(b []byte) (int, error) { return 0, io.EOF }
+
+func (c *fakeConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return c.buf.Write(b)
+}
+
+func (c *fakeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *fakeConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+func (c *fakeConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "fake" }
+func (a fakeAddr) String() string  { return string(a) }
+
+func (c *fakeConn) LocalAddr() net.Addr                { return fakeAddr("local") }
+func (c *fakeConn) RemoteAddr() net.Addr               { return fakeAddr("remote") }
+func (c *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func mustWire(t *testing.T, cfg WireConfig) *WirePlan {
+	t.Helper()
+	p, err := NewWire(cfg)
+	if err != nil {
+		t.Fatalf("NewWire(%+v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestWireNilPlanPassesThrough(t *testing.T) {
+	var p *WirePlan
+	if p.Enabled() {
+		t.Fatal("nil plan reports Enabled")
+	}
+	if got := p.Counters(); got != (WireCounters{}) {
+		t.Fatalf("nil plan counters = %+v", got)
+	}
+	c := &fakeConn{}
+	if p.WrapConn(c) != net.Conn(c) {
+		t.Fatal("nil plan should return the conn unchanged")
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	bad := []WireConfig{
+		{TearProb: -0.1},
+		{CorruptProb: 1.5},
+		{TearProb: 0.5, TruncateProb: 0.3, DupProb: 0.3},
+		{StallSec: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewWire(cfg); err == nil {
+			t.Errorf("config %d (%+v): want error, got nil", i, cfg)
+		}
+	}
+	if _, err := NewWire(WireConfig{}); err != nil {
+		t.Errorf("zero config should be valid: %v", err)
+	}
+}
+
+func TestWireTearClosesConn(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 1, TearProb: 1})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	if _, err := w.Write([]byte("hello")); err == nil {
+		t.Fatal("torn write should error")
+	}
+	if !c.isClosed() {
+		t.Fatal("torn write should close the conn")
+	}
+	if got := p.Counters().Torn; got != 1 {
+		t.Fatalf("Torn = %d, want 1", got)
+	}
+}
+
+func TestWireTruncateWritesPrefixAndCloses(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 1, TruncateProb: 1})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	msg := []byte("0123456789")
+	if _, err := w.Write(msg); err == nil {
+		t.Fatal("truncated write should error")
+	}
+	got := c.bytes()
+	if len(got) == 0 || len(got) >= len(msg) {
+		t.Fatalf("truncated %d of %d bytes, want a proper prefix", len(got), len(msg))
+	}
+	if !bytes.Equal(got, msg[:len(got)]) {
+		t.Fatal("truncated bytes are not a prefix of the message")
+	}
+	if !c.isClosed() {
+		t.Fatal("truncation should close the conn")
+	}
+	if got := p.Counters().Truncated; got != 1 {
+		t.Fatalf("Truncated = %d, want 1", got)
+	}
+}
+
+func TestWireCorruptFlipsBitsReportsSuccess(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 7, CorruptProb: 1})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	n, err := w.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("corrupt write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	got := c.bytes()
+	if len(got) != len(msg) {
+		t.Fatalf("corrupt write changed length: %d vs %d", len(got), len(msg))
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupt write delivered identical bytes")
+	}
+	if got := p.Counters().Corrupted; got != 1 {
+		t.Fatalf("Corrupted = %d, want 1", got)
+	}
+}
+
+func TestWireDuplicateWritesTwice(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 1, DupProb: 1})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	msg := []byte("batch-1")
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("dup write = (%d, %v)", n, err)
+	}
+	want := append(append([]byte(nil), msg...), msg...)
+	if !bytes.Equal(c.bytes(), want) {
+		t.Fatalf("dup wrote %q, want %q", c.bytes(), want)
+	}
+	if got := p.Counters().Duplicated; got != 1 {
+		t.Fatalf("Duplicated = %d, want 1", got)
+	}
+}
+
+func TestWireReorderSwapsAdjacentMessages(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 1, ReorderProb: 1})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	if _, err := w.Write([]byte("AAA")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.bytes(); len(got) != 0 {
+		t.Fatalf("first reordered write should be held, got %q", got)
+	}
+	if _, err := w.Write([]byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.bytes(); !bytes.Equal(got, []byte("AAA")) {
+		t.Fatalf("after second write, wire holds %q, want the flushed first message", got)
+	}
+	if got := p.Counters().Reordered; got != 2 {
+		t.Fatalf("Reordered = %d, want 2", got)
+	}
+}
+
+func TestWireStallDelaysButDelivers(t *testing.T) {
+	p := mustWire(t, WireConfig{Seed: 1, StallProb: 1, StallSec: 0.02})
+	c := &fakeConn{}
+	w := p.WrapConn(c)
+	msg := []byte("0123456789abcdef")
+	start := time.Now()
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("stalled write = (%d, %v)", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("stalled write returned after %v, want >= ~20ms", elapsed)
+	}
+	if !bytes.Equal(c.bytes(), msg) {
+		t.Fatal("stalled write should still deliver the full message")
+	}
+	if got := p.Counters().Stalled; got != 1 {
+		t.Fatalf("Stalled = %d, want 1", got)
+	}
+}
+
+func TestWireDeterministicReplay(t *testing.T) {
+	run := func() ([]byte, WireCounters) {
+		p := mustWire(t, WireConfig{
+			Seed: 42, TearProb: 0.05, TruncateProb: 0.05, CorruptProb: 0.1,
+			DupProb: 0.1, ReorderProb: 0.1,
+		})
+		c := &fakeConn{}
+		w := p.WrapConn(c)
+		for i := 0; i < 200; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, 8+i%13)
+			w.Write(msg) // errors expected once torn; keep writing
+		}
+		return c.bytes(), p.Counters()
+	}
+	b1, c1 := run()
+	b2, c2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different wire bytes")
+	}
+	if c1 != c2 {
+		t.Fatalf("same seed produced different counters: %+v vs %+v", c1, c2)
+	}
+	if c1 == (WireCounters{}) {
+		t.Fatal("plan injected nothing over 200 messages")
+	}
+}
+
+func TestAggressiveWirePreset(t *testing.T) {
+	p := AggressiveWire(3)
+	if !p.Enabled() {
+		t.Fatal("aggressive wire plan should be enabled")
+	}
+	if p.Config().StallSec <= 0 {
+		t.Fatal("aggressive wire plan should set a stall duration")
+	}
+}

@@ -1,0 +1,96 @@
+// Package flagcheck validates dependent command-line flag combinations
+// in one place, after flag.Parse. The commands in this repo grew pairs
+// of flags where one only means something when another is on
+// (-chaos-seed without -chaos, -checkpoint-interval without
+// -checkpoint-dir): silently ignoring the dangling flag hides operator
+// typos, so the checker turns each into a clear error naming both flags.
+package flagcheck
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Checker accumulates dependent-flag rules against a parsed FlagSet.
+type Checker struct {
+	fs   *flag.FlagSet
+	set  map[string]bool
+	errs []error
+}
+
+// New builds a checker for fs, which must already be parsed. Rule
+// methods panic on flag names that do not exist — a misspelled rule is
+// a programming error, not an operator error.
+func New(fs *flag.FlagSet) *Checker {
+	c := &Checker{fs: fs, set: make(map[string]bool)}
+	fs.Visit(func(f *flag.Flag) { c.set[f.Name] = true })
+	return c
+}
+
+// lookup panics on unknown flag names so rules cannot rot silently.
+func (c *Checker) lookup(name string) *flag.Flag {
+	f := c.fs.Lookup(name)
+	if f == nil {
+		panic(fmt.Sprintf("flagcheck: rule references unknown flag -%s", name))
+	}
+	return f
+}
+
+// Explicit reports whether the flag was set on the command line (as
+// opposed to keeping its default).
+func (c *Checker) Explicit(name string) bool {
+	c.lookup(name)
+	return c.set[name]
+}
+
+// Requires errors when dependent was set explicitly but none of the
+// enabler flags were: the dependent flag tunes a feature the command
+// line never turned on.
+func (c *Checker) Requires(dependent string, enablers ...string) *Checker {
+	c.lookup(dependent)
+	if len(enablers) == 0 {
+		panic("flagcheck: Requires needs at least one enabler")
+	}
+	if !c.set[dependent] {
+		return c
+	}
+	for _, e := range enablers {
+		c.lookup(e)
+		if c.set[e] {
+			return c
+		}
+	}
+	names := make([]string, len(enablers))
+	for i, e := range enablers {
+		names[i] = "-" + e
+	}
+	c.errs = append(c.errs, fmt.Errorf(
+		"-%s was set but does nothing without %s", dependent, strings.Join(names, " or ")))
+	return c
+}
+
+// Err joins every rule violation into one error (nil when all rules
+// passed), so an operator sees the whole list at once instead of
+// whack-a-mole reruns.
+func (c *Checker) Err() error {
+	return errors.Join(c.errs...)
+}
+
+// CheckpointInterval resolves the shared -checkpoint-interval semantic:
+// a positive value is the period, zero or negative means "periodic
+// checkpoints disabled" (the final shutdown checkpoint still happens).
+// The second return reports whether periodic checkpointing is enabled;
+// logf (when non-nil) gets the disabled notice so every command logs it
+// the same way.
+func CheckpointInterval(d time.Duration, logf func(format string, args ...any)) (time.Duration, bool) {
+	if d > 0 {
+		return d, true
+	}
+	if logf != nil {
+		logf("periodic checkpoints disabled (-checkpoint-interval %v); a final checkpoint is still written on shutdown", d)
+	}
+	return 0, false
+}

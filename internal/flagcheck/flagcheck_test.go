@@ -1,0 +1,111 @@
+package flagcheck
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.Bool("chaos", false, "")
+	fs.Int64("chaos-seed", 1, "")
+	fs.String("checkpoint-dir", "", "")
+	fs.Duration("checkpoint-interval", 10*time.Second, "")
+	fs.Bool("wire-chaos", false, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestRequiresPassesWhenDependentUnset(t *testing.T) {
+	c := New(parse(t)).
+		Requires("chaos-seed", "chaos").
+		Requires("checkpoint-interval", "checkpoint-dir")
+	if err := c.Err(); err != nil {
+		t.Fatalf("defaults flagged: %v", err)
+	}
+}
+
+func TestRequiresPassesWhenEnablerSet(t *testing.T) {
+	c := New(parse(t, "-chaos", "-chaos-seed", "7")).Requires("chaos-seed", "chaos")
+	if err := c.Err(); err != nil {
+		t.Fatalf("valid combo flagged: %v", err)
+	}
+}
+
+func TestRequiresCatchesDanglingDependent(t *testing.T) {
+	c := New(parse(t, "-chaos-seed", "7")).Requires("chaos-seed", "chaos")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("dangling -chaos-seed accepted")
+	}
+	if !strings.Contains(err.Error(), "-chaos-seed") || !strings.Contains(err.Error(), "-chaos") {
+		t.Fatalf("error does not name both flags: %v", err)
+	}
+}
+
+func TestRequiresAnyEnabler(t *testing.T) {
+	c := New(parse(t, "-checkpoint-interval", "1s", "-wire-chaos")).
+		Requires("checkpoint-interval", "checkpoint-dir", "wire-chaos")
+	if err := c.Err(); err != nil {
+		t.Fatalf("alternate enabler rejected: %v", err)
+	}
+}
+
+func TestErrJoinsAllViolations(t *testing.T) {
+	c := New(parse(t, "-chaos-seed", "7", "-checkpoint-interval", "1s")).
+		Requires("chaos-seed", "chaos").
+		Requires("checkpoint-interval", "checkpoint-dir")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("two violations accepted")
+	}
+	for _, want := range []string{"-chaos-seed", "-checkpoint-interval"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestExplicit(t *testing.T) {
+	c := New(parse(t, "-chaos"))
+	if !c.Explicit("chaos") || c.Explicit("chaos-seed") {
+		t.Fatalf("explicit detection wrong: chaos=%v chaos-seed=%v",
+			c.Explicit("chaos"), c.Explicit("chaos-seed"))
+	}
+}
+
+func TestUnknownFlagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rule with a typo did not panic")
+		}
+	}()
+	New(parse(t)).Requires("chaso", "chaos")
+}
+
+func TestCheckpointInterval(t *testing.T) {
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+
+	if d, on := CheckpointInterval(5*time.Second, logf); !on || d != 5*time.Second {
+		t.Fatalf("positive interval: %v %v", d, on)
+	}
+	if len(logged) != 0 {
+		t.Fatalf("positive interval logged: %v", logged)
+	}
+	for _, d := range []time.Duration{0, -time.Second} {
+		logged = nil
+		if got, on := CheckpointInterval(d, logf); on || got != 0 {
+			t.Fatalf("interval %v: got %v, on=%v", d, got, on)
+		}
+		if len(logged) != 1 || !strings.Contains(logged[0], "disabled") {
+			t.Fatalf("interval %v: log %v", d, logged)
+		}
+	}
+}

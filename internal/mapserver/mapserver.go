@@ -114,6 +114,7 @@ type State struct {
 	health  func() Health
 	slo     func() any
 	profile func() any
+	agents  func() any
 	tracer  *trace.Tracer
 }
 
@@ -268,6 +269,23 @@ func (s *State) profileSource() func() any {
 	return s.profile
 }
 
+// SetAgentsSource installs the provider behind /api/agents — typically a
+// closure over capwire.Server.Report, giving per-agent liveness, lag,
+// cursor, and resume/dedup accounting. With no source installed the
+// endpoint reports the distributed capture plane disabled. The value must
+// be JSON-serializable.
+func (s *State) SetAgentsSource(src func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agents = src
+}
+
+func (s *State) agentsSource() func() any {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.agents
+}
+
 // SetTracer installs the pipeline tracer behind /api/trace (recent-trace
 // ring dump) and /api/explain (latest per-device estimate provenance), and
 // lets PublishFrame record its publish span. nil (the default) leaves the
@@ -410,6 +428,14 @@ func NewHandler(state *State, opts HandlerOpts) http.Handler {
 	}))
 	mux.HandleFunc("/api/profile", apiGET("/api/profile", func(w http.ResponseWriter, r *http.Request) {
 		src := state.profileSource()
+		if src == nil {
+			writeJSON(w, map[string]any{"enabled": false})
+			return
+		}
+		writeJSON(w, src())
+	}))
+	mux.HandleFunc("/api/agents", apiGET("/api/agents", func(w http.ResponseWriter, r *http.Request) {
+		src := state.agentsSource()
 		if src == nil {
 			writeJSON(w, map[string]any{"enabled": false})
 			return

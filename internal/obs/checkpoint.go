@@ -232,6 +232,11 @@ type Checkpointer struct {
 	// Source returns the store to snapshot. Called once per checkpoint,
 	// so the store can be swapped between runs.
 	Source func() *Store
+	// AfterCheckpoint, when set, runs after each successful snapshot with
+	// the generation just written — the hook other durable state (e.g. the
+	// capture agents' ack cursors) uses to persist alongside the store at
+	// a known generation. Failures in the hook are the hook's to report.
+	AfterCheckpoint func(generation uint64)
 
 	gen atomic.Uint64
 }
@@ -260,6 +265,9 @@ func (c *Checkpointer) CheckpointNow() (string, error) {
 		return "", err
 	}
 	c.prune()
+	if c.AfterCheckpoint != nil {
+		c.AfterCheckpoint(gen)
+	}
 	return path, nil
 }
 

@@ -20,7 +20,7 @@
 set -eu
 
 count="${1:-4}"
-pr="${3:-9}"
+pr="${3:-10}"
 outfile="${2:-BENCH_${pr}.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

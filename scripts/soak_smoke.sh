@@ -6,14 +6,19 @@
 # — non-empty, strictly monotonic timestamps — and asserts both runs
 # actually ingested traffic. Whole script stays under ~30s.
 #
-# Env overrides: OUT (summary file, default BENCH_9.json), PR (default
-# 9), SOAK_SECS (wall seconds per run, default 4), KEEP (when set, the
+# A third mini-soak streams through two loopback capwire agents under
+# the aggressive wire fault plan; its fleet accounting (throughput,
+# resumes, dedup, exactly-once bookkeeping) merges into the summary as
+# the top-level "agents" section via -merge-extra.
+#
+# Env overrides: OUT (summary file, default BENCH_10.json), PR (default
+# 10), SOAK_SECS (wall seconds per run, default 4), KEEP (when set, the
 # flight records and self-profile artifacts land under this directory
 # and survive the run — CI uploads them).
 set -eu
 
-OUT="${OUT:-BENCH_9.json}"
-PR="${PR:-9}"
+OUT="${OUT:-BENCH_10.json}"
+PR="${PR:-10}"
 SOAK_SECS="${SOAK_SECS:-4}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT INT TERM
@@ -35,6 +40,15 @@ run_soak() {
 run_soak -ftdc-dir "$WORK/ftdc-off" -prof-dir "$WORK/prof-off" -run-name chaos_off
 run_soak -ftdc-dir "$WORK/ftdc-on" -prof-dir "$WORK/prof-on" -run-name chaos_on -chaos
 
+# Distributed capture: the same load through two loopback capwire agents
+# with wire chaos on, recorded standalone and merged as the "agents"
+# section (not a third run — benchcompare gates it separately).
+"$TMP/soak" -duration "${SOAK_SECS}s" -devices 120 -aps 200 \
+    -speedup 900 -sim-start 11h -tick 50ms -frame-every 250ms \
+    -ftdc-dir "$WORK/ftdc-agents" -ftdc-interval 250ms -prof=false \
+    -agents 2 -agents-wire-chaos -agents-out "$WORK/agents.json"
+"$TMP/soak" -duration 0 -out "$OUT" -pr "$PR" -merge-extra "agents=$WORK/agents.json"
+
 # Every flight record must decode cleanly: at least one sample, strictly
 # monotonic timestamps across chunks.
 found=0
@@ -48,8 +62,9 @@ if [ "$found" -lt 2 ]; then
     exit 1
 fi
 
-# One summary carries both runs, and both saw real traffic.
-for key in '"chaos_off"' '"chaos_on"' '"ftdc"' '"profile"' '"stageShares"'; do
+# One summary carries both runs plus the agents section, and every run
+# saw real traffic.
+for key in '"chaos_off"' '"chaos_on"' '"ftdc"' '"profile"' '"stageShares"' '"agents"' '"accountingOk": true'; do
     grep -q "$key" "$OUT" || {
         echo "soak-smoke: $OUT missing $key" >&2
         cat "$OUT" >&2
@@ -61,5 +76,10 @@ if grep -q '"framesIngested": 0,' "$OUT"; then
     cat "$OUT" >&2
     exit 1
 fi
+if grep -q '"resumes": 0,' "$OUT"; then
+    echo "soak-smoke: the agent fleet never exercised cursor resume" >&2
+    cat "$OUT" >&2
+    exit 1
+fi
 
-echo "soak-smoke: ok (2 soaks, $found flight records decoded, wrote $OUT)"
+echo "soak-smoke: ok (2 soaks + agent fleet, $found flight records decoded, wrote $OUT)"
