@@ -619,15 +619,31 @@ func run(args []string) error {
 				return err
 			}
 			if len(cursors) > 0 {
-				if gen != recoveredGen {
-					// A generation skew only widens the replay window: the
-					// agents re-send a tail the server dedups (at-least-once
-					// delivery, exactly-once ingest), so warn and continue.
-					slog.Warn("agent cursors from a different checkpoint generation",
+				switch {
+				case gen > recoveredGen:
+					// The cursor file outruns the restored observation store
+					// (recovery fell back to an older checkpoint). Seeding
+					// these stale-forward cursors would make the server dedup
+					// replayed batches whose ingested frames were lost with
+					// the newer store — silent permanent loss. Discard them:
+					// the server starts each agent at cursor 0 and the
+					// clients renumber their retained tails from cursor+1,
+					// so everything still held agent-side is re-ingested.
+					slog.Warn("agent cursors outrun the restored store; discarding them",
+						"component", "marauder", "cursorGeneration", gen, "storeGeneration", recoveredGen)
+					cursors = nil
+				case gen < recoveredGen:
+					// A lagging cursor file only widens the replay window:
+					// the agents re-send a tail the server dedups
+					// (at-least-once delivery, exactly-once ingest), so warn
+					// and continue.
+					slog.Warn("agent cursors from an older checkpoint generation",
 						"component", "marauder", "cursorGeneration", gen, "storeGeneration", recoveredGen)
 				}
-				slog.Info("agent cursors restored", "component", "marauder",
-					"path", cursorPath, "agents", len(cursors), "generation", gen)
+				if len(cursors) > 0 {
+					slog.Info("agent cursors restored", "component", "marauder",
+						"path", cursorPath, "agents", len(cursors), "generation", gen)
+				}
 			}
 			srvCfg.Cursors = cursors
 		}

@@ -113,7 +113,8 @@ func (p *agentPlane) deliver(ctx context.Context, batch []sniffer.Capture) error
 	if len(batch) == 0 {
 		return nil
 	}
-	c := p.clients[p.next%len(p.clients)]
+	idx := p.next % len(p.clients)
+	c := p.clients[idx]
 	p.next++
 	if !p.bounced && time.Now().After(p.bounceAt) {
 		p.bounced = true
@@ -121,7 +122,7 @@ func (p *agentPlane) deliver(ctx context.Context, batch []sniffer.Capture) error
 		// exists — the reconnect then registers as a resume.
 		if err := c.Flush(ctx); err == nil {
 			c.Bounce()
-			slog.Info("forced agent bounce", "component", "soak", "agent", p.next%len(p.clients))
+			slog.Info("forced agent bounce", "component", "soak", "agent", idx+1)
 		}
 	}
 	if err := c.Send(ctx, batch); err != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -260,6 +261,161 @@ func TestOverflowDropOldestCountsEviction(t *testing.T) {
 	}
 	if cs.DroppedBatches != 6 || cs.DroppedFrames != 12 {
 		t.Fatalf("drops = %d batches / %d frames, want 6 / 12", cs.DroppedBatches, cs.DroppedFrames)
+	}
+}
+
+// offlineClient builds a client whose dialer always fails, so the queue
+// is never touched by a session and tests can stage its state directly.
+func offlineClient(t *testing.T, id string, mod func(*ClientConfig)) *Client {
+	t.Helper()
+	return fastClient(t, "offline", id, func(cfg *ClientConfig) {
+		cfg.Dial = func(context.Context, string) (net.Conn, error) {
+			return nil, errors.New("offline")
+		}
+		if mod != nil {
+			mod(cfg)
+		}
+	})
+}
+
+func TestDropOldestSparesRewoundTail(t *testing.T) {
+	c := offlineClient(t, "rewind-agent", func(cfg *ClientConfig) {
+		cfg.QueueBatches = 3
+		cfg.Overflow = OverflowDropOldest
+	})
+	ctx := context.Background()
+	for b := 0; b < 3; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x90, b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stage the post-reconnect replay state: every queued batch was
+	// transmitted on a dead session (seq assigned) and adoptCursor
+	// rewound nextSend to 0. None of these may be evicted — dropping
+	// one would leave a permanent gap the server rejects forever.
+	c.mu.Lock()
+	for i, pb := range c.queue {
+		pb.seq = uint64(i + 1)
+	}
+	c.nextSend = 0
+	c.mu.Unlock()
+
+	short, cancel := context.WithTimeout(ctx, 60*time.Millisecond)
+	defer cancel()
+	if err := c.Send(short, uniqueCaptures(0x90, 10, 1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("send over a fully sent-unacked queue: %v, want DeadlineExceeded (block, never evict)", err)
+	}
+	if st := c.Stats(); st.DroppedBatches != 0 || st.Pending != 3 {
+		t.Fatalf("a sent-unacked batch was evicted: %+v", st)
+	}
+
+	// An unsent batch queued behind the rewound tail is still fair game.
+	c.mu.Lock()
+	c.queue[2].seq = 0
+	c.mu.Unlock()
+	if err := c.Send(ctx, uniqueCaptures(0x90, 11, 1)); err != nil {
+		t.Fatalf("send with an evictable unsent batch blocked: %v", err)
+	}
+	if st := c.Stats(); st.DroppedBatches != 1 || st.Pending != 3 {
+		t.Fatalf("want exactly the unsent batch evicted: %+v", st)
+	}
+}
+
+func TestAdoptCursorRenumbersAfterRegression(t *testing.T) {
+	c := offlineClient(t, "renumber-agent", nil)
+	ctx := context.Background()
+	for b := 0; b < 3; b++ {
+		if err := c.Send(ctx, uniqueCaptures(0x91, b, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stage a life where batches 1..4 were acked and discarded and 5..7
+	// are the retained sent-unacked tail.
+	c.mu.Lock()
+	for i, pb := range c.queue {
+		pb.seq = uint64(5 + i)
+	}
+	c.nextSeq = 8
+	c.mu.Unlock()
+
+	// A restarted engine answers the handshake with a stale cursor file
+	// that only recorded 2: replaying seq 5 would be an eternal gap, so
+	// the retained tail must renumber contiguously from 3.
+	c.adoptCursor(nil, 2)
+
+	c.mu.Lock()
+	var got []uint64
+	for _, pb := range c.queue {
+		got = append(got, pb.seq)
+	}
+	nextSeq, nextSend := c.nextSeq, c.nextSend
+	c.mu.Unlock()
+	if fmt.Sprint(got) != "[3 4 5]" {
+		t.Fatalf("queue seqs %v, want [3 4 5]", got)
+	}
+	if nextSeq != 6 || nextSend != 0 {
+		t.Fatalf("nextSeq %d nextSend %d, want 6 / 0", nextSeq, nextSend)
+	}
+	if st := c.Stats(); st.RenumberedBatches != 3 {
+		t.Fatalf("RenumberedBatches = %d, want 3", st.RenumberedBatches)
+	}
+}
+
+func TestStaleCursorRestartRecovers(t *testing.T) {
+	sink := newCountingSink()
+	// An indirect dialer lets the client chase the "restarted engine"
+	// onto its new port.
+	var addr atomic.Value
+	dial := func(ctx context.Context, _ string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr.Load().(string))
+	}
+	srv1, a1 := startServer(t, ServerConfig{Ingest: sink.ingest})
+	addr.Store(a1)
+	c := fastClient(t, "indirect", "restart-agent", func(cfg *ClientConfig) {
+		cfg.Dial = dial
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	total := 0
+	for b := 0; b < 5; b++ {
+		caps := uniqueCaptures(0xA0, total, 2)
+		total += len(caps)
+		if err := c.Send(ctx, caps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	// The engine restarts with a cursor file lagging what the client
+	// already discarded on ack: 5 batches acked, the file recorded 2.
+	// The session must renumber and make progress, not gap-cut forever.
+	srv2, a2 := startServer(t, ServerConfig{
+		Ingest:  sink.ingest,
+		Cursors: map[string]uint64{"restart-agent": 2},
+	})
+	addr.Store(a2)
+	for b := 0; b < 3; b++ {
+		caps := uniqueCaptures(0xA1, b*2, 2)
+		total += len(caps)
+		if err := c.Send(ctx, caps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatalf("flush after cursor regression livelocked: %v", err)
+	}
+
+	ingested, quarantined, maxDup := sink.snapshot()
+	if ingested != total || quarantined != 0 || maxDup > 1 {
+		t.Fatalf("sink: ingested %d quarantined %d maxDup %d, want %d/0/<=1", ingested, quarantined, maxDup, total)
+	}
+	a := srv2.Agents()[0]
+	if a.Cursor != 5 || a.BatchesIngested != 3 || !a.AccountingOk {
+		t.Fatalf("post-restart agent status: %+v", a)
 	}
 }
 

@@ -22,10 +22,12 @@ const (
 	// OverflowBlock makes Send wait for queue space — backpressure
 	// propagates to the capture loop, no batch is ever dropped.
 	OverflowBlock OverflowPolicy = iota
-	// OverflowDropOldest makes Send evict the oldest not-yet-sent batch
-	// to admit the new one. Batches already sent and awaiting ack are
-	// never evicted (dropping one would tear a hole in the seq stream);
-	// every eviction is counted.
+	// OverflowDropOldest makes Send evict the oldest never-transmitted
+	// batch (seq still unassigned) to admit the new one. Batches that
+	// have been sent at least once — including a rewound unacked tail
+	// awaiting replay after a reconnect — are never evicted (dropping
+	// one would tear a permanent hole in the seq stream); every
+	// eviction is counted.
 	OverflowDropOldest
 )
 
@@ -115,6 +117,10 @@ type ClientStats struct {
 	// ReplayedBatches counts re-sends of the unacked tail after
 	// reconnects.
 	ReplayedBatches uint64 `json:"replayedBatches"`
+	// RenumberedBatches counts queued batches re-sequenced after a
+	// server cursor regression (an engine restart restored a cursor
+	// file lagging batches this client had already discarded on ack).
+	RenumberedBatches uint64 `json:"renumberedBatches"`
 	// Handshakes counts completed Hello/HelloAck exchanges; Resumes
 	// counts the subset that adopted a non-zero server cursor.
 	Handshakes uint64 `json:"handshakes"`
@@ -219,16 +225,19 @@ func (c *Client) Send(ctx context.Context, caps []sniffer.Capture) error {
 		if len(c.queue) < c.cfg.QueueBatches {
 			break
 		}
-		if c.cfg.Overflow == OverflowDropOldest && c.nextSend < len(c.queue) {
-			victim := c.queue[c.nextSend]
-			c.queue = append(c.queue[:c.nextSend], c.queue[c.nextSend+1:]...)
-			c.stats.DroppedBatches++
-			c.stats.DroppedFrames += uint64(victim.frames)
-			mClientDropped(c.cfg.AgentID).Inc()
-			continue
+		if c.cfg.Overflow == OverflowDropOldest {
+			if i := c.oldestUnsentLocked(); i >= 0 {
+				victim := c.queue[i]
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				c.stats.DroppedBatches++
+				c.stats.DroppedFrames += uint64(victim.frames)
+				mClientDropped(c.cfg.AgentID).Inc()
+				continue
+			}
 		}
-		// Block (or drop-oldest with the whole queue in flight): wait
-		// for an ack to free space.
+		// Block (or drop-oldest with every queued batch already
+		// transmitted and awaiting ack or replay): wait for an ack to
+		// free space.
 		if stopWatch == nil && ctx.Done() != nil {
 			stopWatch = context.AfterFunc(ctx, c.cond.Broadcast)
 		}
@@ -240,6 +249,21 @@ func (c *Client) Send(ctx context.Context, caps []sniffer.Capture) error {
 	mClientQueueDepth(c.cfg.AgentID).Set(float64(len(c.queue)))
 	c.cond.Broadcast()
 	return nil
+}
+
+// oldestUnsentLocked returns the index of the oldest never-transmitted
+// batch (seq still unassigned), or -1 if every queued batch has been
+// sent at least once. Indexes below nextSend always carry a seq;
+// after adoptCursor rewinds nextSend for replay, a sent-unacked tail
+// (seq != 0) precedes the unsent batches, so the scan must check seqs
+// rather than trust nextSend alone.
+func (c *Client) oldestUnsentLocked() int {
+	for i := c.nextSend; i < len(c.queue); i++ {
+		if c.queue[i].seq == 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // Flush blocks until every enqueued batch has been acked by the server,
@@ -556,12 +580,48 @@ func (c *Client) adoptCursor(conn net.Conn, cursor uint64) {
 		c.nextSeq = cursor + 1
 	}
 	c.popAckedLocked(cursor)
+	// Cursor regression: the server's cursor sits below the next seq it
+	// will be offered (queue head, or nextSeq on an empty/unsent queue).
+	// That happens when an engine restart restored a cursor file lagging
+	// batches this client already acked and discarded — the skipped
+	// window is lost server-side no matter what, but replaying the old
+	// seqs would be rejected as a gap forever, livelocking the session.
+	// Renumber the retained tail contiguously from cursor+1 so every
+	// batch still held gets delivered. Safe against reordered or
+	// duplicated batches: within one server process the cursor never
+	// regresses, so this only fires on the authoritative handshake
+	// cursor of a restarted server.
+	head := c.nextSeq
+	if len(c.queue) > 0 && c.queue[0].seq != 0 {
+		head = c.queue[0].seq
+	}
+	var renumbered int
+	if head > cursor+1 {
+		seq := cursor
+		for _, pb := range c.queue {
+			if pb.seq == 0 {
+				break
+			}
+			seq++
+			pb.seq = seq
+			renumbered++
+		}
+		c.nextSeq = seq + 1
+		c.stats.RenumberedBatches += uint64(renumbered)
+		if renumbered > 0 {
+			mClientRenumbered(c.cfg.AgentID).Add(uint64(renumbered))
+		}
+	}
 	// Everything still queued (sent-unacked included) goes back on the
 	// wire in order.
 	c.nextSend = 0
 	resumed := cursor > 0
 	c.mu.Unlock()
 	c.cond.Broadcast()
+	if head > cursor+1 {
+		c.logf("capwire: %s server cursor %d regressed below head seq %d; renumbered %d queued batch(es) from %d",
+			c.cfg.AgentID, cursor, head, renumbered, cursor+1)
+	}
 	if resumed {
 		c.logf("capwire: %s resuming from cursor %d", c.cfg.AgentID, cursor)
 	}

@@ -114,3 +114,10 @@ func mClientReplayed(agent string) *telemetry.Counter {
 		"Batches re-sent from the unacked tail after a reconnect, by agent.",
 		telemetry.Labels{"agent": agent})
 }
+
+func mClientRenumbered(agent string) *telemetry.Counter {
+	return telemetry.Default().Counter(
+		"marauder_agent_renumbered_batches_total",
+		"Queued batches re-sequenced after a server cursor regression (engine restart with a stale cursor file), by agent.",
+		telemetry.Labels{"agent": agent})
+}

@@ -108,6 +108,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	agents  map[string]*agentState
+	conns   map[net.Conn]struct{} // every accepted conn, pre-handshake included
 	lis     net.Listener
 	closed  bool
 	wg      sync.WaitGroup
@@ -128,6 +129,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		agents:  make(map[string]*agentState),
+		conns:   make(map[net.Conn]struct{}),
 		batchMs: mBatchSeconds(),
 	}
 	for id, cur := range cfg.Cursors {
@@ -161,10 +163,24 @@ func (s *Server) Serve(lis net.Listener) error {
 		if err != nil {
 			return err
 		}
+		// Register the handler under s.mu so Close cannot observe the
+		// wait group between Accept and Add — a connection racing the
+		// listener shutdown is either fully tracked or refused.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
 		s.wg.Add(1)
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -179,13 +195,9 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	lis := s.lis
-	var conns []net.Conn
-	for _, st := range s.agents {
-		st.mu.Lock()
-		if st.conn != nil {
-			conns = append(conns, st.conn)
-		}
-		st.mu.Unlock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	if lis != nil {
